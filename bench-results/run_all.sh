@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerate every paper artifact. Build first:
+#   cargo build --release -p bench
+set -x
+cd "$(dirname "$0")/.."
+B=target/release
+for bin in table1 fig6 fig7 fig8_9_10 fig11 fig12 ablations; do
+  $B/$bin > bench-results/$bin.txt 2>&1
+  echo "DONE $bin"
+done
+echo ALL_FIGURES_DONE

@@ -1,0 +1,39 @@
+//! Criterion benchmarks of end-to-end experiment runs (host cost per
+//! simulated run, by mode) — the unit of work of every figure sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pasm::{paper_workload, run_matmul, Mode, Params};
+use pasm_machine::MachineConfig;
+
+fn bench_modes(c: &mut Criterion) {
+    let cfg = MachineConfig::prototype();
+    let n = 16;
+    let (a, b) = paper_workload(n, 1);
+    let mut g = c.benchmark_group("run_matmul_n16_p4");
+    for mode in Mode::ALL {
+        let p = if mode == Mode::Serial { 1 } else { 4 };
+        g.bench_function(BenchmarkId::from_parameter(mode), |bch| {
+            bch.iter(|| run_matmul(&cfg, mode, Params::new(n, p), &a, &b).unwrap().cycles)
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let cfg = MachineConfig::prototype();
+    let blocks: Vec<Vec<u16>> = (0..4).map(|i| vec![i as u16; 64]).collect();
+    let mut g = c.benchmark_group("run_reduction_k64_p4");
+    for mode in [Mode::Simd, Mode::Mimd, Mode::Smimd] {
+        g.bench_function(BenchmarkId::from_parameter(mode), |bch| {
+            bch.iter(|| pasm::run_reduction(&cfg, mode, 64, 4, &blocks).unwrap().cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_modes, bench_reduction
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the Extra-Stage Cube routing and circuit layer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pasm_net::{ring_circuits, EscNetwork};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("esc");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("route_all_pairs_16", |b| {
+        let net = EscNetwork::new(16);
+        b.iter(|| {
+            let mut hops = 0usize;
+            for s in 0..16 {
+                for d in 0..16 {
+                    hops += net.route(s, d, false).unwrap().hops.len();
+                }
+            }
+            hops
+        })
+    });
+
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("establish_release_all_pairs_16", |b| {
+        b.iter(|| {
+            let mut net = EscNetwork::new(16);
+            for s in 0..16 {
+                for d in 0..16 {
+                    let id = net.establish(s, d).unwrap();
+                    net.release(id).unwrap();
+                }
+            }
+            net.live_circuits()
+        })
+    });
+
+    g.throughput(Throughput::Elements(16));
+    g.bench_function("ring_16", |b| {
+        let pes: Vec<usize> = (0..16).collect();
+        b.iter(|| {
+            let mut net = EscNetwork::new(16);
+            ring_circuits(&mut net, &pes).unwrap().len()
+        })
+    });
+
+    g.bench_function("fault_reconfigure_and_route", |b| {
+        b.iter(|| {
+            let mut net = EscNetwork::new(16);
+            net.set_fault(2, 3, true);
+            net.reconfigure_for_faults();
+            let id = net.establish(5, 11).unwrap();
+            net.release(id).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_routing
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablations of the design decisions DESIGN.md §4 calls out (not paper
+//! artifacts; they isolate *why* the paper's effects appear).
+//!
+//! * **A1 release rule** — lockstep (release at the slowest PE's request, the
+//!   real hardware) vs decoupled (per-PE private queues). The gap is the pure
+//!   cost of per-instruction barrier composition, and it grows with the
+//!   number of data-dependent multiplies.
+//! * **A2 queue depth** — SIMD's control-flow hiding only works while the
+//!   queue is non-empty; shrinking it exposes MC time.
+//! * **A3 multiplier bit-density** — with fixed-popcount data every multiply
+//!   takes the same time, the lockstep `max` equals the mean, and the Fig-7
+//!   crossover should disappear; uniform-random data restores it.
+
+use pasm::figures::{ablation_density, ablation_queue, ablation_release, DEFAULT_SEED};
+
+fn main() {
+    let cfg = pasm::MachineConfig::prototype();
+    let quick = bench::quick_mode();
+    let n = if quick { 32 } else { 64 };
+
+    println!("A1: SIMD release rule (n={n}, p=4)");
+    println!("extra  lockstep(ms)  decoupled(ms)  barrier cost");
+    let rows = ablation_release(&cfg, n, 4, &[0, 5, 10, 15, 20, 30], DEFAULT_SEED);
+    for r in &rows {
+        println!(
+            "{:>5} {:>12.2} {:>14.2} {:>9.1}%",
+            r.extra_muls,
+            r.lockstep_ms,
+            r.decoupled_ms,
+            100.0 * (r.lockstep_ms - r.decoupled_ms) / r.decoupled_ms
+        );
+    }
+    bench::save_json("ablation_release", &rows);
+
+    println!("\nA2: queue capacity (n={n}, p=4, SIMD)");
+    println!("capacity(words)  time(ms)  empty-stall cycles  max depth");
+    let rows = ablation_queue(&cfg, n, 4, &[8, 16, 32, 64, 128, 256, 512], DEFAULT_SEED);
+    for r in &rows {
+        println!(
+            "{:>15} {:>9.2} {:>19} {:>10}",
+            r.capacity_words, r.simd_ms, r.empty_stall_cycles, r.max_depth_words
+        );
+    }
+    bench::save_json("ablation_queue", &rows);
+
+    println!("\nA3: multiplier bit-density vs crossover (n={n}, p=4)");
+    println!("ones  crossover");
+    let extras: Vec<usize> = (0..=30).collect();
+    let rows = ablation_density(&cfg, n, 4, &[0, 4, 8, 12, 16], &extras, DEFAULT_SEED);
+    for r in &rows {
+        println!(
+            "{:>4}  {}",
+            r.ones,
+            r.crossover.map(|c| c.to_string()).unwrap_or_else(|| "none (SIMD always wins)".into())
+        );
+    }
+    bench::save_json("ablation_density", &rows);
+}

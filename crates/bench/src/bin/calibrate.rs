@@ -1,0 +1,55 @@
+//! Calibration sweep for the memory-timing constants (not a paper artifact).
+//!
+//! The prototype's exact wait-state and refresh figures are not published;
+//! this utility sweeps the plausible space and reports, per configuration:
+//! the Fig-7 crossover (paper: ≈14 added multiplies at n=64, p=4), the
+//! Fig-11-style efficiencies, and the Table-1 MIPS ratio, so a configuration
+//! matching the paper's shapes can be chosen and recorded in EXPERIMENTS.md.
+
+use pasm::figures::{fig11, fig7, fig7_crossover, table1};
+use pasm::MachineConfig;
+use pasm_mem::MemTiming;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let extras: Vec<usize> = (0..=30).collect();
+
+    println!("calibration at n={n}, p=4 (paper crossover target: ~14)");
+    println!("pe_ws fu_ws refresh | crossover | eff SIMD/MIMD/SMIMD | MIPS add simd/mimd");
+
+    for (pe_ws, fu_ws) in [(1u32, 0u32), (2, 1), (3, 2)] {
+        for refresh in [4u64, 8, 10, 12, 16] {
+            let cfg = MachineConfig {
+                pe_dram: MemTiming {
+                    wait_states: pe_ws,
+                    refresh_interval: 125,
+                    refresh_duration: refresh,
+                },
+                fu_sram: MemTiming { wait_states: fu_ws, refresh_interval: 0, refresh_duration: 0 },
+                mc_dram: MemTiming {
+                    wait_states: pe_ws,
+                    refresh_interval: 125,
+                    refresh_duration: refresh,
+                },
+                ..MachineConfig::prototype()
+            };
+            let rows = fig7(&cfg, n, 4, &extras, 1988);
+            let cross = fig7_crossover(&rows);
+            let eff = fig11(&cfg, 4, &[n], 1988);
+            let t1 = table1(&cfg);
+            println!(
+                "{:>5} {:>5} {:>7} | {:>9} | {:.3}/{:.3}/{:.3} | {:.2}/{:.2}",
+                pe_ws,
+                fu_ws,
+                refresh,
+                cross.map(|c| c.to_string()).unwrap_or_else(|| "none".into()),
+                eff[0].simd,
+                eff[0].mimd,
+                eff[0].smimd,
+                t1[0].simd_mips,
+                t1[0].mimd_mips,
+            );
+        }
+    }
+}

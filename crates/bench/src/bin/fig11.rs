@@ -1,0 +1,17 @@
+//! Regenerates **Figure 11**: efficiency vs problem size for p = 4, one
+//! multiply per inner loop.
+//!
+//! Paper shapes to check: S/MIMD and MIMD efficiency rise with n and stay
+//! below 1 (paper's best: 96% S/MIMD, 87% MIMD at n = 256, the MIMD gap being
+//! its polling overhead); the SIMD version *exceeds unity* — superlinear
+//! speed-up — because the MCs absorb the control flow and the queue fetches
+//! beat PE DRAM.
+
+use pasm::figures::{fig11, DEFAULT_SEED};
+
+fn main() {
+    let cfg = pasm::MachineConfig::prototype();
+    let rows = fig11(&cfg, 4, &bench::sizes(), DEFAULT_SEED);
+    print!("{}", pasm::report::render_fig11(&rows));
+    bench::save_json("fig11", &rows);
+}

@@ -1,0 +1,15 @@
+//! Regenerates **Figure 12**: efficiency vs number of processors for n = 64,
+//! one multiply per inner loop.
+//!
+//! Paper shape to check: efficiency falls as p grows — n/p shrinks, so the
+//! communication and other overheads absent from the serial version loom
+//! larger against the per-PE computation.
+
+use pasm::figures::{fig12, DEFAULT_SEED};
+
+fn main() {
+    let cfg = pasm::MachineConfig::prototype();
+    let rows = fig12(&cfg, 64, &[4, 8, 16], DEFAULT_SEED);
+    print!("{}", pasm::report::render_fig12(&rows));
+    bench::save_json("fig12", &rows);
+}

@@ -1,0 +1,15 @@
+//! Regenerates **Figure 6**: execution time vs problem size for p = 8 and one
+//! multiply per inner loop, all four program versions.
+//!
+//! Paper shapes to check: the parallel versions are ~p× below SISD; SIMD is
+//! fastest; MIMD/S-MIMD converge toward SIMD as n grows (the O(n²)
+//! communication is overtaken by the O(n³/p) arithmetic).
+
+use pasm::figures::{fig6, DEFAULT_SEED};
+
+fn main() {
+    let cfg = pasm::MachineConfig::prototype();
+    let rows = fig6(&cfg, 8, &bench::sizes(), DEFAULT_SEED);
+    print!("{}", pasm::report::render_fig6(&rows));
+    bench::save_json("fig6", &rows);
+}

@@ -1,0 +1,18 @@
+//! Regenerates **Figure 7**: execution time vs number of added inner-loop
+//! multiplies for n = 64, p = 4.
+//!
+//! This is the headline experiment: with few added multiplies SIMD wins (its
+//! control flow is hidden on the MC and its fetches are faster); as
+//! data-dependent multiplies accumulate, the per-instruction lockstep `max`
+//! makes SIMD lose ground, and the S/MIMD hybrid overtakes it. The paper
+//! reports the crossover at approximately fourteen added multiplications.
+
+use pasm::figures::{fig7, DEFAULT_SEED};
+
+fn main() {
+    let cfg = pasm::MachineConfig::prototype();
+    let extras: Vec<usize> = (0..=30).collect();
+    let rows = fig7(&cfg, 64, 4, &extras, DEFAULT_SEED);
+    print!("{}", pasm::report::render_fig7(&rows));
+    bench::save_json("fig7", &rows);
+}

@@ -1,0 +1,24 @@
+//! Regenerates **Figures 8, 9 and 10**: contributions to execution time
+//! (multiplication / communication / other) for SIMD and S/MIMD at p = 4 with
+//! 1, 14, and 30 total inner-loop multiplies.
+//!
+//! Paper shapes to check: multiplication time grows faster than communication
+//! (O(n³/p) vs O(n²)) and dominates at large n; at 14 multiplies the two
+//! versions' totals meet near n = 64; at 30 the S/MIMD version wins for large
+//! n and the gap widens with n.
+
+use pasm::figures::{fig8_10, DEFAULT_SEED};
+
+fn main() {
+    let cfg = pasm::MachineConfig::prototype();
+    let sizes = bench::sizes();
+    let mut all = Vec::new();
+    // "1, 14, 30 multiplies per inner loop" = 0, 13, 29 *added* multiplies.
+    for (figure, extra) in [(8u32, 0usize), (9, 13), (10, 29)] {
+        let rows = fig8_10(&cfg, 4, extra, &sizes, DEFAULT_SEED);
+        println!("--- Figure {figure} ---");
+        print!("{}", pasm::report::render_breakdown(&rows));
+        all.extend(rows);
+    }
+    bench::save_json("fig8_9_10", &all);
+}

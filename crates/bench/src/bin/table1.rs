@@ -1,0 +1,13 @@
+//! Regenerates **Table 1**: prototype raw performance in MIPS for two
+//! instruction classes in SIMD and MIMD modes.
+//!
+//! Paper: SIMD is faster than MIMD for both classes because the Fetch Unit
+//! queue's static RAM delivers instruction words with one less wait state
+//! than the PEs' dynamic main memories, and the queue sees no refresh.
+
+fn main() {
+    let cfg = pasm::MachineConfig::prototype();
+    let rows = pasm::figures::table1(&cfg);
+    print!("{}", pasm::report::render_table1(&rows));
+    bench::save_json("table1", &rows);
+}

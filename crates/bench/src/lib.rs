@@ -1,0 +1,38 @@
+//! Shared plumbing for the benchmark binaries that regenerate the paper's
+//! tables and figures. Each binary prints a plain-text table (see
+//! `pasm::report`) and also drops the raw rows as JSON under
+//! `bench-results/` for EXPERIMENTS.md bookkeeping.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory the binaries write raw JSON results into.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench-results");
+    fs::create_dir_all(&dir).expect("create bench-results dir");
+    dir
+}
+
+/// Serialize rows to `bench-results/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, rows: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(rows).expect("serialize results");
+    fs::write(&path, json).expect("write results");
+    eprintln!("(raw rows written to {})", path.display());
+}
+
+/// `--quick` on the command line caps the problem-size sweep for smoke runs.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The paper's problem sizes, optionally capped for `--quick`.
+pub fn sizes() -> Vec<usize> {
+    let all = pasm::figures::PAPER_SIZES.to_vec();
+    if quick_mode() {
+        all.into_iter().filter(|&n| n <= 64).collect()
+    } else {
+        all
+    }
+}

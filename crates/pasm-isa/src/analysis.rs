@@ -1,0 +1,289 @@
+//! Static timing analysis: best/worst-case cycle bounds and lockstep-cost
+//! estimation for instruction sequences.
+//!
+//! The paper's subject is the gap between an instruction's *mean* execution
+//! time (what an asynchronous MIMD stream pays) and the *maximum across p
+//! processors* (what SIMD lockstep pays). This module quantifies that gap
+//! statically for the data-dependent instructions of the ISA:
+//!
+//! * [`instr_bounds`] — min/max core cycles of one instruction over all data,
+//! * [`block_bounds`] — bounds of a straight-line block,
+//! * [`mulu_mean`], [`mulu_lockstep_mean`] — exact expected `MULU` time under
+//!   uniform 16-bit multipliers, alone and under a max-of-p release rule,
+//! * [`lockstep_premium`] — expected extra cycles per multiply that SIMD
+//!   lockstep costs over asynchronous execution, as a function of p,
+//! * [`ProgramStats`] — static instruction-mix summary of a program.
+
+use crate::instr::{Instr, ShiftCount};
+use crate::program::Program;
+use crate::timing::{self, ExecCtx};
+use serde::{Deserialize, Serialize};
+
+/// Inclusive min/max core-cycle bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingBounds {
+    pub min: u32,
+    pub max: u32,
+}
+
+impl TimingBounds {
+    /// Width of the interval — the instruction's timing non-determinism.
+    pub fn spread(self) -> u32 {
+        self.max - self.min
+    }
+}
+
+/// True if the instruction's core time depends on operand *values*.
+pub fn is_data_dependent(i: &Instr) -> bool {
+    matches!(
+        i,
+        Instr::Mulu { .. }
+            | Instr::Muls { .. }
+            | Instr::Divu { .. }
+            | Instr::Divs { .. }
+            | Instr::Shift { count: ShiftCount::Reg(_), .. }
+    ) || matches!(i, Instr::Bcc { .. } | Instr::Dbra { .. })
+}
+
+/// Core-cycle bounds of a single instruction over all possible data.
+///
+/// Branches are bounded over taken/not-taken; register-count shifts over
+/// counts 0–63; multiplies and divides over their documented envelopes.
+pub fn instr_bounds(i: &Instr) -> TimingBounds {
+    let at = |ctx: ExecCtx| timing::base_cycles(i, ctx);
+    match *i {
+        Instr::Mulu { .. } => TimingBounds {
+            min: at(ExecCtx { src_value: 0, ..Default::default() }),
+            max: at(ExecCtx { src_value: 0xFFFF, ..Default::default() }),
+        },
+        Instr::Muls { .. } => TimingBounds {
+            min: at(ExecCtx { src_value: 0, ..Default::default() }),
+            max: at(ExecCtx { src_value: 0x5555, ..Default::default() }),
+        },
+        Instr::Divu { .. } | Instr::Divs { .. } => TimingBounds {
+            // Early-out overflow is the cheapest; an all-zero quotient the dearest.
+            min: at(ExecCtx { src_value: 0, dst_value: 1, ..Default::default() }),
+            max: at(ExecCtx { src_value: 0xFFFF, dst_value: 0, ..Default::default() }),
+        },
+        Instr::Shift { count: ShiftCount::Reg(_), .. } => TimingBounds {
+            min: at(ExecCtx { shift_count: 0, ..Default::default() }),
+            max: at(ExecCtx { shift_count: 63, ..Default::default() }),
+        },
+        Instr::Bcc { .. } => {
+            let t = at(ExecCtx { branch_taken: true, ..Default::default() });
+            let n = at(ExecCtx { branch_taken: false, ..Default::default() });
+            TimingBounds { min: t.min(n), max: t.max(n) }
+        }
+        Instr::Dbra { .. } => {
+            let l = at(ExecCtx { loop_expired: false, ..Default::default() });
+            let e = at(ExecCtx { loop_expired: true, ..Default::default() });
+            TimingBounds { min: l.min(e), max: l.max(e) }
+        }
+        _ => {
+            let c = at(ExecCtx::default());
+            TimingBounds { min: c, max: c }
+        }
+    }
+}
+
+/// Bounds of a straight-line block (no control flow inside).
+pub fn block_bounds(block: &[Instr]) -> TimingBounds {
+    block.iter().map(instr_bounds).fold(TimingBounds { min: 0, max: 0 }, |a, b| TimingBounds {
+        min: a.min + b.min,
+        max: a.max + b.max,
+    })
+}
+
+/// Probability mass function of `popcount(U)` for `U ~ Uniform(0..2^16)`:
+/// Binomial(16, ½).
+fn popcount_pmf() -> [f64; 17] {
+    let mut pmf = [0.0; 17];
+    let mut c = 1f64;
+    for (k, p) in pmf.iter_mut().enumerate() {
+        *p = c / 65536.0;
+        c = c * (16 - k) as f64 / (k + 1) as f64;
+    }
+    pmf
+}
+
+/// Expected `MULU` core time with a uniform random 16-bit multiplier: exactly
+/// 38 + 2·8 = 54 cycles.
+pub fn mulu_mean() -> f64 {
+    let pmf = popcount_pmf();
+    (0..=16).map(|k| pmf[k] * timing::mulu_cycles_from_ones(k as u32) as f64).sum()
+}
+
+/// Expected `MULU` time under lockstep with `p` processors drawing i.i.d.
+/// uniform multipliers: `38 + 2·E[max of p Binomial(16,½)]`.
+pub fn mulu_lockstep_mean(p: usize) -> f64 {
+    assert!(p >= 1);
+    let pmf = popcount_pmf();
+    // CDF of one draw, then E[max] via P(max >= k).
+    let mut cdf = [0.0f64; 17];
+    let mut acc = 0.0;
+    for k in 0..=16 {
+        acc += pmf[k];
+        cdf[k] = acc;
+    }
+    let mut e_max = 0.0;
+    for k in 1..=16 {
+        let below = cdf[k - 1];
+        e_max += 1.0 - below.powi(p as i32); // P(max >= k)
+    }
+    38.0 + 2.0 * e_max
+}
+
+/// Expected extra cycles *per multiply* that the SIMD per-instruction barrier
+/// costs over a single asynchronous stream: `mulu_lockstep_mean(p) − mulu_mean()`.
+///
+/// Note this is an upper bound on the *realizable* decoupling benefit: when
+/// the multiplier is loop-invariant (as in the paper's inner loop) part of the
+/// variance re-appears at the next coarser barrier — see the A1 ablation.
+pub fn lockstep_premium(p: usize) -> f64 {
+    mulu_lockstep_mean(p) - mulu_mean()
+}
+
+/// Static instruction-mix summary of a program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProgramStats {
+    /// Instructions in the main stream.
+    pub main_instrs: usize,
+    /// Instructions across SIMD blocks.
+    pub block_instrs: usize,
+    /// Static count of data-dependent-time instructions (incl. blocks).
+    pub variable_time_instrs: usize,
+    /// Static count of multiplies/divides (incl. blocks).
+    pub mul_div_instrs: usize,
+    /// Static count of control-flow instructions in the main stream.
+    pub control_instrs: usize,
+    /// Total instruction words of the main stream.
+    pub main_words: u32,
+}
+
+/// Compute the static summary.
+pub fn program_stats(p: &Program) -> ProgramStats {
+    let all = p.instrs.iter().chain(p.blocks.iter().flatten());
+    let mut s = ProgramStats {
+        main_instrs: p.instrs.len(),
+        block_instrs: p.blocks.iter().map(Vec::len).sum(),
+        main_words: p.words(),
+        ..Default::default()
+    };
+    for i in all {
+        if is_data_dependent(i) {
+            s.variable_time_instrs += 1;
+        }
+        if matches!(
+            i,
+            Instr::Mulu { .. } | Instr::Muls { .. } | Instr::Divu { .. } | Instr::Divs { .. }
+        ) {
+            s.mul_div_instrs += 1;
+        }
+    }
+    s.control_instrs = p.instrs.iter().filter(|i| i.is_control_flow()).count();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operand::{Ea, Size};
+    use crate::reg::DataReg::*;
+
+    #[test]
+    fn mulu_bounds_span_the_envelope() {
+        let b = instr_bounds(&Instr::Mulu { src: Ea::D(D1), dst: D0 });
+        assert_eq!(b, TimingBounds { min: 38, max: 70 });
+        assert_eq!(b.spread(), 32);
+    }
+
+    #[test]
+    fn divu_bounds_cover_early_out_and_worst_case() {
+        let b = instr_bounds(&Instr::Divu { src: Ea::D(D1), dst: D0 });
+        assert_eq!(b.min, 10);
+        assert_eq!(b.max, 76 + 4 * 16);
+    }
+
+    #[test]
+    fn fixed_instructions_have_zero_spread() {
+        let b = instr_bounds(&Instr::Moveq { value: 1, dst: D0 });
+        assert_eq!(b.spread(), 0);
+        assert_eq!(b.min, 4);
+    }
+
+    #[test]
+    fn branch_bounds() {
+        let b = instr_bounds(&Instr::Bcc { cond: crate::Cond::Ne, target: 0 });
+        assert_eq!(b, TimingBounds { min: 10, max: 12 });
+        let b = instr_bounds(&Instr::Dbra { dst: D0, target: 0 });
+        assert_eq!(b, TimingBounds { min: 10, max: 14 });
+    }
+
+    #[test]
+    fn block_bounds_add_up() {
+        let blk = [
+            Instr::Move { size: Size::Word, src: Ea::D(D1), dst: Ea::D(D0) }, // 4
+            Instr::Mulu { src: Ea::D(D1), dst: D0 },                          // 38..70
+        ];
+        assert_eq!(block_bounds(&blk), TimingBounds { min: 42, max: 74 });
+    }
+
+    #[test]
+    fn mulu_mean_is_54() {
+        assert!((mulu_mean() - 54.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lockstep_mean_grows_with_p_and_is_bounded() {
+        assert!((mulu_lockstep_mean(1) - 54.0).abs() < 1e-9);
+        let mut prev = 54.0;
+        for p in [2usize, 4, 8, 16, 64] {
+            let m = mulu_lockstep_mean(p);
+            assert!(m > prev, "p={p}");
+            assert!(m < 70.0);
+            prev = m;
+        }
+        // For p=4 the premium is ≈ 2·2.0 ± 0.5 cycles (max of 4 binomials).
+        let prem = lockstep_premium(4);
+        assert!((3.0..6.0).contains(&prem), "premium {prem}");
+    }
+
+    #[test]
+    fn data_dependence_classifier() {
+        assert!(is_data_dependent(&Instr::Mulu { src: Ea::D(D1), dst: D0 }));
+        assert!(is_data_dependent(&Instr::Divs { src: Ea::D(D1), dst: D0 }));
+        assert!(!is_data_dependent(&Instr::Nop));
+        assert!(!is_data_dependent(&Instr::Shift {
+            kind: crate::ShiftKind::Lsl,
+            size: Size::Word,
+            count: ShiftCount::Imm(4),
+            dst: D0,
+        }));
+        assert!(is_data_dependent(&Instr::Shift {
+            kind: crate::ShiftKind::Lsl,
+            size: Size::Word,
+            count: ShiftCount::Reg(D1),
+            dst: D0,
+        }));
+    }
+
+    #[test]
+    fn stats_of_a_small_program() {
+        let p = crate::asm::assemble(
+            "
+            t:  MULU D1,D0
+                DIVU D2,D0
+                LSR.W #1,D0
+                DBRA D7,t
+                HALT
+            ",
+        )
+        .unwrap();
+        let s = program_stats(&p);
+        assert_eq!(s.main_instrs, 5);
+        assert_eq!(s.mul_div_instrs, 2);
+        assert_eq!(s.variable_time_instrs, 3); // MULU, DIVU, DBRA
+        assert_eq!(s.control_instrs, 2); // DBRA, HALT
+        assert!(s.main_words >= 5);
+    }
+}

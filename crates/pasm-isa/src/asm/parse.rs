@@ -1,0 +1,535 @@
+//! Parser internals of the text assembler.
+
+use crate::instr::{Cond, Instr, ShiftCount, ShiftKind};
+use crate::operand::{Ea, Size};
+use crate::program::{Program, ProgramBuilder};
+use crate::reg::{AddrReg, DataReg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly error with a 1-based source line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, message: message.into() })
+}
+
+/// Assemble source text into a [`Program`].
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    let mut labels: HashMap<String, crate::program::Label> = HashMap::new();
+    let mut in_block = false;
+
+    let mut get_label = |b: &mut ProgramBuilder, name: &str| {
+        labels
+            .entry(name.to_string())
+            .or_insert_with(|| b.new_label(name))
+            .to_owned()
+    };
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find(';') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let mut rest = line.trim();
+        if rest.is_empty() {
+            continue;
+        }
+
+        // Leading label(s): `name:`.
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let name = head.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                break;
+            }
+            if in_block {
+                return err(lineno, "labels are not allowed inside .block");
+            }
+            let l = get_label(&mut b, name);
+            b.bind(l);
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        // Directives.
+        if rest.eq_ignore_ascii_case(".block") {
+            if in_block {
+                return err(lineno, ".block cannot nest");
+            }
+            b.begin_block();
+            in_block = true;
+            continue;
+        }
+        if rest.eq_ignore_ascii_case(".endblock") {
+            if !in_block {
+                return err(lineno, ".endblock without .block");
+            }
+            b.end_block();
+            in_block = false;
+            continue;
+        }
+
+        parse_instr(&mut b, &mut get_label, rest, lineno)?;
+    }
+
+    if in_block {
+        return err(src.lines().count(), "unterminated .block");
+    }
+    b.build().map_err(|e| AsmError { line: 0, message: e.to_string() })
+}
+
+/// Split a mnemonic into (opcode, optional size suffix).
+fn split_mnemonic(m: &str) -> (String, Option<Size>) {
+    let upper = m.to_ascii_uppercase();
+    if let Some(stem) = upper.strip_suffix(".B") {
+        (stem.to_string(), Some(Size::Byte))
+    } else if let Some(stem) = upper.strip_suffix(".W") {
+        (stem.to_string(), Some(Size::Word))
+    } else if let Some(stem) = upper.strip_suffix(".L") {
+        (stem.to_string(), Some(Size::Long))
+    } else {
+        (upper, None)
+    }
+}
+
+fn parse_number(s: &str, line: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = s.strip_prefix('$') {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = s.strip_prefix('%') {
+        i64::from_str_radix(bin, 2)
+    } else {
+        s.parse::<i64>()
+    };
+    match v {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("bad number `{s}`")),
+    }
+}
+
+fn parse_data_reg(s: &str) -> Option<DataReg> {
+    let s = s.trim();
+    let rest = s.strip_prefix('D').or_else(|| s.strip_prefix('d'))?;
+    let n: usize = rest.parse().ok()?;
+    DataReg::from_index(n)
+}
+
+fn parse_addr_reg(s: &str) -> Option<AddrReg> {
+    let s = s.trim();
+    if s.eq_ignore_ascii_case("SP") {
+        return Some(AddrReg::A7);
+    }
+    let rest = s.strip_prefix('A').or_else(|| s.strip_prefix('a'))?;
+    let n: usize = rest.parse().ok()?;
+    AddrReg::from_index(n)
+}
+
+fn parse_ea(s: &str, line: usize) -> Result<Ea, AsmError> {
+    let s = s.trim();
+    if let Some(d) = parse_data_reg(s) {
+        return Ok(Ea::D(d));
+    }
+    if let Some(a) = parse_addr_reg(s) {
+        return Ok(Ea::A(a));
+    }
+    if let Some(imm) = s.strip_prefix('#') {
+        let v = parse_number(imm, line)?;
+        return Ok(Ea::Imm(v as u32));
+    }
+    if let Some(body) = s.strip_prefix("-(") {
+        let body = body.strip_suffix(')').ok_or(())
+            .or_else(|_| err::<&str>(line, format!("bad operand `{s}`")))?;
+        let a = parse_addr_reg(body)
+            .ok_or(())
+            .or_else(|_| err::<AddrReg>(line, format!("bad register in `{s}`")))?;
+        return Ok(Ea::PreDec(a));
+    }
+    if let Some(stripped) = s.strip_suffix('+') {
+        if let Some(body) = stripped.strip_prefix('(').and_then(|b| b.strip_suffix(')')) {
+            let a = parse_addr_reg(body)
+                .ok_or(())
+                .or_else(|_| err::<AddrReg>(line, format!("bad register in `{s}`")))?;
+            return Ok(Ea::PostInc(a));
+        }
+    }
+    if let Some(open) = s.find('(') {
+        if s.ends_with(')') {
+            let disp_str = &s[..open];
+            let reg_str = &s[open + 1..s.len() - 1];
+            let a = parse_addr_reg(reg_str)
+                .ok_or(())
+                .or_else(|_| err::<AddrReg>(line, format!("bad register in `{s}`")))?;
+            if disp_str.trim().is_empty() {
+                return Ok(Ea::Ind(a));
+            }
+            let d = parse_number(disp_str, line)?;
+            if d < i16::MIN as i64 || d > i16::MAX as i64 {
+                return err(line, format!("displacement out of range in `{s}`"));
+            }
+            return Ok(Ea::Disp(d as i16, a));
+        }
+    }
+    // Absolute: `$addr.W` / `$addr.L` (or bare number => abs.W).
+    let (body, long) = if let Some(b) = s.strip_suffix(".L").or_else(|| s.strip_suffix(".l")) {
+        (b, true)
+    } else if let Some(b) = s.strip_suffix(".W").or_else(|| s.strip_suffix(".w")) {
+        (b, false)
+    } else {
+        (s, false)
+    };
+    if body.starts_with('$') || body.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        let v = parse_number(body, line)?;
+        return if long {
+            Ok(Ea::AbsL(v as u32))
+        } else if (0..=0xFFFF).contains(&v) {
+            Ok(Ea::AbsW(v as u16))
+        } else {
+            err(line, format!("absolute short address out of range in `{s}`"))
+        };
+    }
+    err(line, format!("unrecognized operand `{s}`"))
+}
+
+/// Split the operand field on top-level commas (commas inside parens stay).
+fn split_operands(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+fn cond_from_mnemonic(m: &str) -> Option<Cond> {
+    Some(match m {
+        "BRA" => Cond::True,
+        "BNE" => Cond::Ne,
+        "BEQ" => Cond::Eq,
+        "BCC" | "BHS" => Cond::Cc,
+        "BCS" | "BLO" => Cond::Cs,
+        "BPL" => Cond::Pl,
+        "BMI" => Cond::Mi,
+        "BGE" => Cond::Ge,
+        "BGT" => Cond::Gt,
+        "BLE" => Cond::Le,
+        "BLT" => Cond::Lt,
+        "BHI" => Cond::Hi,
+        "BLS" => Cond::Ls,
+        "BVC" => Cond::Vc,
+        "BVS" => Cond::Vs,
+        _ => return None,
+    })
+}
+
+fn parse_instr(
+    b: &mut ProgramBuilder,
+    get_label: &mut impl FnMut(&mut ProgramBuilder, &str) -> crate::program::Label,
+    text: &str,
+    line: usize,
+) -> Result<(), AsmError> {
+    let (mnemonic, operands) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let (op, size) = split_mnemonic(mnemonic);
+    let sz = size.unwrap_or(Size::Word);
+    let ops = split_operands(operands);
+
+    let need = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            err(line, format!("{op} expects {n} operand(s), got {}", ops.len()))
+        }
+    };
+
+    // Branch family first (label operand).
+    if let Some(cond) = cond_from_mnemonic(&op) {
+        need(1)?;
+        let l = get_label(b, ops[0]);
+        b.branch(Instr::Bcc { cond, target: 0 }, l);
+        return Ok(());
+    }
+
+    match op.as_str() {
+        "MOVE" => {
+            need(2)?;
+            let src = parse_ea(ops[0], line)?;
+            let dst = parse_ea(ops[1], line)?;
+            match dst {
+                Ea::A(a) => b.emit(Instr::Movea { size: sz, src, dst: a }),
+                _ if !dst.is_writable() => return err(line, "MOVE destination not writable"),
+                _ => b.emit(Instr::Move { size: sz, src, dst }),
+            }
+        }
+        "MOVEA" => {
+            need(2)?;
+            let src = parse_ea(ops[0], line)?;
+            let Some(a) = parse_addr_reg(ops[1]) else {
+                return err(line, "MOVEA destination must be An");
+            };
+            b.emit(Instr::Movea { size: sz, src, dst: a });
+        }
+        "MOVEQ" => {
+            need(2)?;
+            let Ea::Imm(v) = parse_ea(ops[0], line)? else {
+                return err(line, "MOVEQ source must be immediate");
+            };
+            let Some(d) = parse_data_reg(ops[1]) else {
+                return err(line, "MOVEQ destination must be Dn");
+            };
+            b.emit(Instr::Moveq { value: v as i8, dst: d });
+        }
+        "LEA" => {
+            need(2)?;
+            let src = parse_ea(ops[0], line)?;
+            let Some(a) = parse_addr_reg(ops[1]) else {
+                return err(line, "LEA destination must be An");
+            };
+            b.emit(Instr::Lea { src, dst: a });
+        }
+        "CLR" => {
+            need(1)?;
+            b.emit(Instr::Clr { size: sz, dst: parse_ea(ops[0], line)? });
+        }
+        "SWAP" => {
+            need(1)?;
+            let Some(d) = parse_data_reg(ops[0]) else {
+                return err(line, "SWAP operand must be Dn");
+            };
+            b.emit(Instr::Swap { dst: d });
+        }
+        "EXT" => {
+            need(1)?;
+            let Some(d) = parse_data_reg(ops[0]) else {
+                return err(line, "EXT operand must be Dn");
+            };
+            b.emit(Instr::Ext { size: sz, dst: d });
+        }
+        "ADD" | "SUB" | "AND" | "OR" | "EOR" => {
+            need(2)?;
+            let src = parse_ea(ops[0], line)?;
+            let dst = parse_ea(ops[1], line)?;
+            match (src, dst, op.as_str()) {
+                (_, Ea::D(d), "ADD") => b.emit(Instr::Add { size: sz, src, dst: d }),
+                (_, Ea::D(d), "SUB") => b.emit(Instr::Sub { size: sz, src, dst: d }),
+                (_, Ea::D(d), "AND") => b.emit(Instr::And { size: sz, src, dst: d }),
+                (_, Ea::D(d), "OR") => b.emit(Instr::Or { size: sz, src, dst: d }),
+                (Ea::D(s), _, "ADD") => b.emit(Instr::AddTo { size: sz, src: s, dst }),
+                (Ea::D(s), _, "SUB") => b.emit(Instr::SubTo { size: sz, src: s, dst }),
+                (Ea::D(s), _, "OR") => b.emit(Instr::OrTo { size: sz, src: s, dst }),
+                (Ea::D(s), _, "EOR") => b.emit(Instr::Eor { size: sz, src: s, dst }),
+                _ => return err(line, format!("{op}: one operand must be a data register")),
+            }
+        }
+        "ADDA" | "SUBA" | "CMPA" => {
+            need(2)?;
+            let src = parse_ea(ops[0], line)?;
+            let Some(a) = parse_addr_reg(ops[1]) else {
+                return err(line, format!("{op} destination must be An"));
+            };
+            // ADDA defaults to word on the 68000 assembler when unsuffixed; we
+            // keep the explicit/default-word convention for all three.
+            match op.as_str() {
+                "ADDA" => b.emit(Instr::Adda { size: sz, src, dst: a }),
+                "SUBA" => b.emit(Instr::Suba { size: sz, src, dst: a }),
+                _ => b.emit(Instr::Cmpa { size: sz, src, dst: a }),
+            }
+        }
+        "ADDQ" | "SUBQ" => {
+            need(2)?;
+            let Ea::Imm(v) = parse_ea(ops[0], line)? else {
+                return err(line, format!("{op} source must be #1-8"));
+            };
+            if !(1..=8).contains(&v) {
+                return err(line, format!("{op} immediate must be 1-8"));
+            }
+            let dst = parse_ea(ops[1], line)?;
+            if op == "ADDQ" {
+                b.emit(Instr::Addq { size: sz, value: v as u8, dst });
+            } else {
+                b.emit(Instr::Subq { size: sz, value: v as u8, dst });
+            }
+        }
+        "NEG" => {
+            need(1)?;
+            b.emit(Instr::Neg { size: sz, dst: parse_ea(ops[0], line)? });
+        }
+        "NOT" => {
+            need(1)?;
+            b.emit(Instr::Not { size: sz, dst: parse_ea(ops[0], line)? });
+        }
+        "MULU" | "MULS" | "DIVU" | "DIVS" => {
+            need(2)?;
+            let src = parse_ea(ops[0], line)?;
+            let Some(d) = parse_data_reg(ops[1]) else {
+                return err(line, format!("{op} destination must be Dn"));
+            };
+            b.emit(match op.as_str() {
+                "MULU" => Instr::Mulu { src, dst: d },
+                "MULS" => Instr::Muls { src, dst: d },
+                "DIVU" => Instr::Divu { src, dst: d },
+                _ => Instr::Divs { src, dst: d },
+            });
+        }
+        "BTST" => {
+            need(2)?;
+            let Ea::Imm(v) = parse_ea(ops[0], line)? else {
+                return err(line, "BTST bit number must be immediate");
+            };
+            b.emit(Instr::Btst { bit: v as u8, dst: parse_ea(ops[1], line)? });
+        }
+        "LSL" | "LSR" | "ASL" | "ASR" | "ROL" | "ROR" => {
+            need(2)?;
+            let kind = match op.as_str() {
+                "LSL" => ShiftKind::Lsl,
+                "LSR" => ShiftKind::Lsr,
+                "ASL" => ShiftKind::Asl,
+                "ROL" => ShiftKind::Rol,
+                "ROR" => ShiftKind::Ror,
+                _ => ShiftKind::Asr,
+            };
+            let count = match parse_ea(ops[0], line)? {
+                Ea::Imm(v) if (1..=8).contains(&v) => ShiftCount::Imm(v as u8),
+                Ea::Imm(_) => return err(line, "shift immediate must be 1-8"),
+                Ea::D(d) => ShiftCount::Reg(d),
+                _ => return err(line, "shift count must be #imm or Dn"),
+            };
+            let Some(d) = parse_data_reg(ops[1]) else {
+                return err(line, "shift destination must be Dn");
+            };
+            b.emit(Instr::Shift { kind, size: sz, count, dst: d });
+        }
+        "CMP" => {
+            need(2)?;
+            let src = parse_ea(ops[0], line)?;
+            match parse_ea(ops[1], line)? {
+                Ea::D(d) => b.emit(Instr::Cmp { size: sz, src, dst: d }),
+                Ea::A(a) => b.emit(Instr::Cmpa { size: sz, src, dst: a }),
+                _ => return err(line, "CMP destination must be a register"),
+            }
+        }
+        "CMPI" => {
+            need(2)?;
+            let Ea::Imm(v) = parse_ea(ops[0], line)? else {
+                return err(line, "CMPI source must be immediate");
+            };
+            b.emit(Instr::Cmpi { size: sz, value: v, dst: parse_ea(ops[1], line)? });
+        }
+        "TST" => {
+            need(1)?;
+            b.emit(Instr::Tst { size: sz, dst: parse_ea(ops[0], line)? });
+        }
+        "DBRA" | "DBF" => {
+            need(2)?;
+            let Some(d) = parse_data_reg(ops[0]) else {
+                return err(line, "DBRA counter must be Dn");
+            };
+            let l = get_label(b, ops[1]);
+            b.branch(Instr::Dbra { dst: d, target: 0 }, l);
+        }
+        "JMP" => {
+            need(1)?;
+            let l = get_label(b, ops[0]);
+            b.branch(Instr::Jmp { target: 0 }, l);
+        }
+        "JSR" => {
+            need(1)?;
+            let l = get_label(b, ops[0]);
+            b.branch(Instr::Jsr { target: 0 }, l);
+        }
+        "RTS" => {
+            need(0)?;
+            b.emit(Instr::Rts);
+        }
+        "NOP" => {
+            need(0)?;
+            b.emit(Instr::Nop);
+        }
+        "JMPSIMD" => {
+            need(0)?;
+            b.emit(Instr::JmpSimd);
+        }
+        "JMPMIMD" => {
+            need(1)?;
+            let l = get_label(b, ops[0]);
+            b.branch(Instr::JmpMimd { target: 0 }, l);
+        }
+        "BARRIER" => {
+            need(0)?;
+            b.emit(Instr::Barrier);
+        }
+        "SETMASK" => {
+            need(1)?;
+            let Ea::Imm(v) = parse_ea(ops[0], line)? else {
+                return err(line, "SETMASK operand must be immediate");
+            };
+            b.emit(Instr::SetMask { mask: v as u16 });
+        }
+        "ENQUEUE" => {
+            need(1)?;
+            let Ea::Imm(v) = parse_ea(ops[0], line)? else {
+                return err(line, "ENQUEUE operand must be immediate");
+            };
+            b.emit(Instr::Enqueue { block: v as u16 });
+        }
+        "ENQWORDS" => {
+            need(1)?;
+            let Ea::Imm(v) = parse_ea(ops[0], line)? else {
+                return err(line, "ENQWORDS operand must be immediate");
+            };
+            b.emit(Instr::EnqueueWords { count: v as u16 });
+        }
+        "STARTPES" => {
+            need(0)?;
+            b.emit(Instr::StartPes);
+        }
+        "MARKB" | "MARKE" => {
+            need(1)?;
+            let Ea::Imm(v) = parse_ea(ops[0], line)? else {
+                return err(line, "MARK operand must be immediate");
+            };
+            b.emit(Instr::Mark { begin: op == "MARKB", phase: v as u8 });
+        }
+        "HALT" => {
+            need(0)?;
+            b.emit(Instr::Halt);
+        }
+        other => return err(line, format!("unknown mnemonic `{other}`")),
+    }
+    Ok(())
+}

@@ -1,0 +1,480 @@
+//! The instruction enumeration: a reduced MC68000 subset plus the handful of
+//! PASM-specific operations that on the real prototype were memory-mapped
+//! register writes or jumps to reserved address spaces.
+//!
+//! Branch targets are *instruction indices* into a [`crate::Program`], resolved
+//! from labels by [`crate::ProgramBuilder`]. The simulator's program counter is
+//! an instruction index, not a byte address; byte-level instruction length is
+//! still tracked via [`Instr::words`] because the number of instruction words
+//! determines how many bus fetch cycles an instruction needs (and therefore how
+//! much the slower PE DRAM hurts MIMD mode relative to the Fetch Unit's static
+//! RAM queue in SIMD mode — a key effect in the paper).
+
+use crate::operand::{Ea, Size};
+use crate::reg::{AddrReg, Ccr, DataReg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Branch condition codes for `Bcc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// Always (i.e. `BRA`).
+    True,
+    /// Not equal (`Z` clear).
+    Ne,
+    /// Equal (`Z` set).
+    Eq,
+    /// Carry clear (unsigned higher-or-same).
+    Cc,
+    /// Carry set (unsigned lower).
+    Cs,
+    /// Plus (`N` clear).
+    Pl,
+    /// Minus (`N` set).
+    Mi,
+    /// Greater or equal (signed).
+    Ge,
+    /// Greater than (signed).
+    Gt,
+    /// Less or equal (signed).
+    Le,
+    /// Less than (signed).
+    Lt,
+    /// Unsigned higher.
+    Hi,
+    /// Unsigned lower or same.
+    Ls,
+    /// Overflow clear.
+    Vc,
+    /// Overflow set.
+    Vs,
+}
+
+impl Cond {
+    /// Evaluate the condition against a condition-code register.
+    pub fn eval(self, ccr: Ccr) -> bool {
+        let Ccr { n, z, v, c, .. } = ccr;
+        match self {
+            Cond::True => true,
+            Cond::Ne => !z,
+            Cond::Eq => z,
+            Cond::Cc => !c,
+            Cond::Cs => c,
+            Cond::Pl => !n,
+            Cond::Mi => n,
+            Cond::Ge => n == v,
+            Cond::Gt => !z && n == v,
+            Cond::Le => z || n != v,
+            Cond::Lt => n != v,
+            Cond::Hi => !c && !z,
+            Cond::Ls => c || z,
+            Cond::Vc => !v,
+            Cond::Vs => v,
+        }
+    }
+
+    /// Assembler mnemonic suffix.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::True => "RA",
+            Cond::Ne => "NE",
+            Cond::Eq => "EQ",
+            Cond::Cc => "CC",
+            Cond::Cs => "CS",
+            Cond::Pl => "PL",
+            Cond::Mi => "MI",
+            Cond::Ge => "GE",
+            Cond::Gt => "GT",
+            Cond::Le => "LE",
+            Cond::Lt => "LT",
+            Cond::Hi => "HI",
+            Cond::Ls => "LS",
+            Cond::Vc => "VC",
+            Cond::Vs => "VS",
+        }
+    }
+}
+
+/// Shift direction/kind for the shift/rotate group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShiftKind {
+    /// Logical shift left.
+    Lsl,
+    /// Logical shift right.
+    Lsr,
+    /// Arithmetic shift left (same bit motion as LSL, different `V` semantics).
+    Asl,
+    /// Arithmetic shift right (sign-propagating).
+    Asr,
+    /// Rotate left (bits wrap around; carry = last bit rotated out).
+    Rol,
+    /// Rotate right.
+    Ror,
+}
+
+impl ShiftKind {
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftKind::Lsl => "LSL",
+            ShiftKind::Lsr => "LSR",
+            ShiftKind::Asl => "ASL",
+            ShiftKind::Asr => "ASR",
+            ShiftKind::Rol => "ROL",
+            ShiftKind::Ror => "ROR",
+        }
+    }
+}
+
+/// Shift count: a 3-bit immediate (1–8, as in the 68000 quick form) or a data
+/// register whose value modulo 64 is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShiftCount {
+    Imm(u8),
+    Reg(DataReg),
+}
+
+impl fmt::Display for ShiftCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShiftCount::Imm(n) => write!(f, "#{n}"),
+            ShiftCount::Reg(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// A single instruction of the reduced PASM/MC68000 instruction set.
+///
+/// The final group (`JmpSimd` onward) are PASM-prototype operations. On the real
+/// machine these are ordinary 68000 instructions hitting reserved address spaces
+/// or Fetch Unit registers; they are modeled as dedicated variants so the
+/// machine simulator can implement their interaction semantics directly:
+///
+/// * [`Instr::JmpSimd`] — a jump into the reserved *SIMD instruction space*;
+///   the PE's instruction requests are served by its MC's Fetch Unit queue from
+///   then on (MIMD → SIMD switch, paper §3).
+/// * [`Instr::JmpMimd`] — broadcast through the queue; returns the PE to
+///   fetching from its own memory at the given instruction index (SIMD → MIMD).
+/// * [`Instr::Barrier`] — a read from SIMD space used as the paper's barrier
+///   synchronization trick: it completes only when every enabled PE of the
+///   virtual machine has issued its read (paper §3, used by the S/MIMD version).
+/// * [`Instr::SetMask`], [`Instr::Enqueue`], [`Instr::EnqueueWords`],
+///   [`Instr::StartPes`] — MC-side Fetch-Unit and orchestration operations.
+/// * [`Instr::Mark`] — zero-cost instrumentation delimiting the measured phases
+///   (multiplication / communication / other) used for the Fig. 8–10 breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    // --- data movement ---
+    Move { size: Size, src: Ea, dst: Ea },
+    Movea { size: Size, src: Ea, dst: AddrReg },
+    Moveq { value: i8, dst: DataReg },
+    Lea { src: Ea, dst: AddrReg },
+    Clr { size: Size, dst: Ea },
+    Swap { dst: DataReg },
+    /// Sign-extend byte→word (`size == Word`) or word→long (`size == Long`).
+    Ext { size: Size, dst: DataReg },
+
+    // --- integer arithmetic ---
+    Add { size: Size, src: Ea, dst: DataReg },
+    AddTo { size: Size, src: DataReg, dst: Ea },
+    Adda { size: Size, src: Ea, dst: AddrReg },
+    Addq { size: Size, value: u8, dst: Ea },
+    Sub { size: Size, src: Ea, dst: DataReg },
+    SubTo { size: Size, src: DataReg, dst: Ea },
+    Suba { size: Size, src: Ea, dst: AddrReg },
+    Subq { size: Size, value: u8, dst: Ea },
+    Neg { size: Size, dst: Ea },
+    /// Unsigned 16×16→32 multiply. Execution time is 38 + 2·ones(src): the
+    /// *non-deterministic instruction time* the paper's experiments revolve around.
+    Mulu { src: Ea, dst: DataReg },
+    /// Signed 16×16→32 multiply; time is 38 + 2·(bit transitions of src<<1).
+    Muls { src: Ea, dst: DataReg },
+    /// Unsigned 32÷16 divide (quotient in the low word, remainder in the high
+    /// word of `dst`). The other famously data-dependent MC68000 instruction:
+    /// its microcoded non-restoring divider takes 76–140 cycles depending on
+    /// the quotient bit pattern (modeled as 76 + 4·zeros(quotient)).
+    Divu { src: Ea, dst: DataReg },
+    /// Signed 32÷16 divide; sign fix-ups add to the data-dependent core time.
+    Divs { src: Ea, dst: DataReg },
+
+    // --- logic & shifts ---
+    And { size: Size, src: Ea, dst: DataReg },
+    Or { size: Size, src: Ea, dst: DataReg },
+    OrTo { size: Size, src: DataReg, dst: Ea },
+    Eor { size: Size, src: DataReg, dst: Ea },
+    Not { size: Size, dst: Ea },
+    Shift { kind: ShiftKind, size: Size, count: ShiftCount, dst: DataReg },
+    /// Bit test: set `Z` from bit `bit` of `dst` (long for registers, byte for
+    /// memory, as on the 68000). A tighter status-poll idiom than `AND`.
+    Btst { bit: u8, dst: Ea },
+
+    // --- compares ---
+    Cmp { size: Size, src: Ea, dst: DataReg },
+    Cmpa { size: Size, src: Ea, dst: AddrReg },
+    Cmpi { size: Size, value: u32, dst: Ea },
+    Tst { size: Size, dst: Ea },
+
+    // --- control flow (targets are instruction indices) ---
+    Bcc { cond: Cond, target: usize },
+    /// `DBRA Dn,label`: decrement the low word of `Dn`; branch unless it becomes −1.
+    Dbra { dst: DataReg, target: usize },
+    Jmp { target: usize },
+    Jsr { target: usize },
+    Rts,
+    Nop,
+
+    // --- PASM prototype operations ---
+    /// PE only: enter SIMD mode (jump into the SIMD instruction space).
+    JmpSimd,
+    /// Broadcast only: leave SIMD mode and resume the PE program at `target`.
+    JmpMimd { target: usize },
+    /// PE only: barrier-synchronizing read of one word from SIMD space.
+    Barrier,
+    /// MC only: write the Fetch Unit mask register (bit *k* enables PE *k* of the group).
+    SetMask { mask: u16 },
+    /// MC only: command the Fetch Unit controller to enqueue SIMD block `block`.
+    Enqueue { block: u16 },
+    /// MC only: enqueue `count` arbitrary data words for barrier synchronization.
+    EnqueueWords { count: u16 },
+    /// MC only: release the (stopped) PEs of this group to run their MIMD programs.
+    StartPes,
+    /// Zero-cost instrumentation marker (phase accounting).
+    Mark { begin: bool, phase: u8 },
+    /// Stop this processor.
+    Halt,
+}
+
+impl Instr {
+    /// Length of the instruction in 16-bit instruction words.
+    ///
+    /// This is the number of bus accesses needed to *fetch* the instruction,
+    /// which is what differs between MIMD mode (PE dynamic RAM, extra wait
+    /// state, refresh interference) and SIMD mode (Fetch Unit static-RAM queue).
+    pub fn words(&self) -> u32 {
+        match *self {
+            Instr::Move { size, src, dst } => 1 + src.ext_words(size) + dst.ext_words(size),
+            Instr::Movea { size, src, .. } => 1 + src.ext_words(size),
+            Instr::Moveq { .. } => 1,
+            Instr::Lea { src, .. } => 1 + src.ext_words(Size::Long),
+            Instr::Clr { size, dst } => 1 + dst.ext_words(size),
+            Instr::Swap { .. } | Instr::Ext { .. } => 1,
+            Instr::Add { size, src, .. }
+            | Instr::Sub { size, src, .. }
+            | Instr::And { size, src, .. }
+            | Instr::Or { size, src, .. }
+            | Instr::Cmp { size, src, .. } => 1 + src.ext_words(size),
+            Instr::AddTo { size, dst, .. }
+            | Instr::SubTo { size, dst, .. }
+            | Instr::OrTo { size, dst, .. }
+            | Instr::Eor { size, dst, .. } => 1 + dst.ext_words(size),
+            Instr::Adda { size, src, .. } | Instr::Suba { size, src, .. } | Instr::Cmpa { size, src, .. } => {
+                1 + src.ext_words(size)
+            }
+            Instr::Addq { size, dst, .. } | Instr::Subq { size, dst, .. } => 1 + dst.ext_words(size),
+            Instr::Neg { size, dst } | Instr::Not { size, dst } => 1 + dst.ext_words(size),
+            Instr::Mulu { src, .. }
+            | Instr::Muls { src, .. }
+            | Instr::Divu { src, .. }
+            | Instr::Divs { src, .. } => 1 + src.ext_words(Size::Word),
+            Instr::Shift { .. } => 1,
+            // Static bit number travels in an extension word.
+            Instr::Btst { dst, .. } => 2 + dst.ext_words(Size::Byte),
+            Instr::Cmpi { size, dst, .. } => {
+                1 + Ea::Imm(0).ext_words(size) + dst.ext_words(size)
+            }
+            Instr::Tst { size, dst } => 1 + dst.ext_words(size),
+            // Word-displacement forms.
+            Instr::Bcc { .. } | Instr::Dbra { .. } => 2,
+            // JMP/JSR through an absolute word address.
+            Instr::Jmp { .. } | Instr::Jsr { .. } => 2,
+            Instr::Rts | Instr::Nop => 1,
+            // JMP to the (short) SIMD space address.
+            Instr::JmpSimd => 2,
+            // Broadcast long jump back into PE memory.
+            Instr::JmpMimd { .. } => 3,
+            // MOVE from an absolute SIMD-space address to a scratch register.
+            Instr::Barrier => 2,
+            // MOVE #imm,FU-register forms.
+            Instr::SetMask { .. } => 3,
+            Instr::Enqueue { .. } | Instr::EnqueueWords { .. } => 4,
+            Instr::StartPes => 3,
+            // Pure simulator instrumentation: occupies no memory, costs nothing.
+            Instr::Mark { .. } => 0,
+            Instr::Halt => 1,
+        }
+    }
+
+    /// True for the operations only meaningful on a Micro Controller.
+    pub fn is_mc_only(&self) -> bool {
+        matches!(
+            self,
+            Instr::SetMask { .. }
+                | Instr::Enqueue { .. }
+                | Instr::EnqueueWords { .. }
+                | Instr::StartPes
+        )
+    }
+
+    /// True for control-transfer instructions (used by the assembler/analyzer).
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Instr::Bcc { .. }
+                | Instr::Dbra { .. }
+                | Instr::Jmp { .. }
+                | Instr::Jsr { .. }
+                | Instr::Rts
+                | Instr::JmpSimd
+                | Instr::JmpMimd { .. }
+                | Instr::Halt
+        )
+    }
+
+    /// The branch-target instruction index, if this instruction has one.
+    pub fn target(&self) -> Option<usize> {
+        match *self {
+            Instr::Bcc { target, .. }
+            | Instr::Dbra { target, .. }
+            | Instr::Jmp { target }
+            | Instr::Jsr { target }
+            | Instr::JmpMimd { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Rewrite the branch target (used by the program builder when resolving labels).
+    pub(crate) fn set_target(&mut self, t: usize) {
+        match self {
+            Instr::Bcc { target, .. }
+            | Instr::Dbra { target, .. }
+            | Instr::Jmp { target }
+            | Instr::Jsr { target }
+            | Instr::JmpMimd { target } => *target = t,
+            _ => panic!("set_target on non-branch instruction {self:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Move { size, src, dst } => write!(f, "MOVE{size} {src},{dst}"),
+            Instr::Movea { size, src, dst } => write!(f, "MOVEA{size} {src},{dst}"),
+            Instr::Moveq { value, dst } => write!(f, "MOVEQ #{value},{dst}"),
+            Instr::Lea { src, dst } => write!(f, "LEA {src},{dst}"),
+            Instr::Clr { size, dst } => write!(f, "CLR{size} {dst}"),
+            Instr::Swap { dst } => write!(f, "SWAP {dst}"),
+            Instr::Ext { size, dst } => write!(f, "EXT{size} {dst}"),
+            Instr::Add { size, src, dst } => write!(f, "ADD{size} {src},{dst}"),
+            Instr::AddTo { size, src, dst } => write!(f, "ADD{size} {src},{dst}"),
+            Instr::Adda { size, src, dst } => write!(f, "ADDA{size} {src},{dst}"),
+            Instr::Addq { size, value, dst } => write!(f, "ADDQ{size} #{value},{dst}"),
+            Instr::Sub { size, src, dst } => write!(f, "SUB{size} {src},{dst}"),
+            Instr::SubTo { size, src, dst } => write!(f, "SUB{size} {src},{dst}"),
+            Instr::Suba { size, src, dst } => write!(f, "SUBA{size} {src},{dst}"),
+            Instr::Subq { size, value, dst } => write!(f, "SUBQ{size} #{value},{dst}"),
+            Instr::Neg { size, dst } => write!(f, "NEG{size} {dst}"),
+            Instr::Mulu { src, dst } => write!(f, "MULU {src},{dst}"),
+            Instr::Muls { src, dst } => write!(f, "MULS {src},{dst}"),
+            Instr::Divu { src, dst } => write!(f, "DIVU {src},{dst}"),
+            Instr::Divs { src, dst } => write!(f, "DIVS {src},{dst}"),
+            Instr::Btst { bit, dst } => write!(f, "BTST #{bit},{dst}"),
+            Instr::And { size, src, dst } => write!(f, "AND{size} {src},{dst}"),
+            Instr::Or { size, src, dst } => write!(f, "OR{size} {src},{dst}"),
+            Instr::OrTo { size, src, dst } => write!(f, "OR{size} {src},{dst}"),
+            Instr::Eor { size, src, dst } => write!(f, "EOR{size} {src},{dst}"),
+            Instr::Not { size, dst } => write!(f, "NOT{size} {dst}"),
+            Instr::Shift { kind, size, count, dst } => {
+                write!(f, "{}{size} {count},{dst}", kind.mnemonic())
+            }
+            Instr::Cmp { size, src, dst } => write!(f, "CMP{size} {src},{dst}"),
+            Instr::Cmpa { size, src, dst } => write!(f, "CMPA{size} {src},{dst}"),
+            Instr::Cmpi { size, value, dst } => write!(f, "CMPI{size} #{value},{dst}"),
+            Instr::Tst { size, dst } => write!(f, "TST{size} {dst}"),
+            Instr::Bcc { cond, target } => write!(f, "B{} @{target}", cond.mnemonic()),
+            Instr::Dbra { dst, target } => write!(f, "DBRA {dst},@{target}"),
+            Instr::Jmp { target } => write!(f, "JMP @{target}"),
+            Instr::Jsr { target } => write!(f, "JSR @{target}"),
+            Instr::Rts => write!(f, "RTS"),
+            Instr::Nop => write!(f, "NOP"),
+            Instr::JmpSimd => write!(f, "JMPSIMD"),
+            Instr::JmpMimd { target } => write!(f, "JMPMIMD @{target}"),
+            Instr::Barrier => write!(f, "BARRIER"),
+            Instr::SetMask { mask } => write!(f, "SETMASK #${mask:04X}"),
+            Instr::Enqueue { block } => write!(f, "ENQUEUE #{block}"),
+            Instr::EnqueueWords { count } => write!(f, "ENQWORDS #{count}"),
+            Instr::StartPes => write!(f, "STARTPES"),
+            Instr::Mark { begin, phase } => {
+                write!(f, "{} #{phase}", if begin { "MARKB" } else { "MARKE" })
+            }
+            Instr::Halt => write!(f, "HALT"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{AddrReg::*, DataReg::*};
+
+    #[test]
+    fn cond_eval_truth_table() {
+        let mut ccr = Ccr::CLEAR;
+        assert!(Cond::True.eval(ccr));
+        assert!(Cond::Ne.eval(ccr));
+        assert!(!Cond::Eq.eval(ccr));
+        ccr.z = true;
+        assert!(Cond::Eq.eval(ccr));
+        assert!(Cond::Le.eval(ccr));
+        assert!(!Cond::Gt.eval(ccr));
+        ccr = Ccr { n: true, v: false, ..Ccr::CLEAR };
+        assert!(Cond::Lt.eval(ccr));
+        assert!(!Cond::Ge.eval(ccr));
+        ccr = Ccr { n: true, v: true, ..Ccr::CLEAR };
+        assert!(Cond::Ge.eval(ccr));
+        ccr = Ccr { c: true, ..Ccr::CLEAR };
+        assert!(Cond::Cs.eval(ccr) && Cond::Ls.eval(ccr) && !Cond::Hi.eval(ccr));
+    }
+
+    #[test]
+    fn word_counts_follow_extension_words() {
+        let i = Instr::Move { size: Size::Word, src: Ea::PostInc(A0), dst: Ea::D(D0) };
+        assert_eq!(i.words(), 1);
+        let i = Instr::Move { size: Size::Word, src: Ea::Imm(7), dst: Ea::AbsL(0x1000) };
+        assert_eq!(i.words(), 4); // op + imm + 2 abs.L words
+        let i = Instr::Mulu { src: Ea::D(D1), dst: D0 };
+        assert_eq!(i.words(), 1);
+        assert_eq!(Instr::Bcc { cond: Cond::Ne, target: 0 }.words(), 2);
+        assert_eq!(Instr::Mark { begin: true, phase: 0 }.words(), 0);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Instr::SetMask { mask: 0xF }.is_mc_only());
+        assert!(!Instr::Nop.is_mc_only());
+        assert!(Instr::Jmp { target: 3 }.is_control_flow());
+        assert_eq!(Instr::Jmp { target: 3 }.target(), Some(3));
+        assert_eq!(Instr::Nop.target(), None);
+    }
+
+    #[test]
+    fn set_target_rewrites() {
+        let mut i = Instr::Bcc { cond: Cond::Eq, target: 0 };
+        i.set_target(42);
+        assert_eq!(i.target(), Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "set_target")]
+    fn set_target_panics_on_non_branch() {
+        let mut i = Instr::Nop;
+        i.set_target(1);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Instr::Mulu { src: Ea::D(D1), dst: D0 };
+        assert_eq!(i.to_string(), "MULU D1,D0");
+        let i = Instr::Move { size: Size::Word, src: Ea::PostInc(A0), dst: Ea::D(D2) };
+        assert_eq!(i.to_string(), "MOVE.W (A0)+,D2");
+    }
+}

@@ -1,0 +1,222 @@
+//! Operand sizes and effective-address (addressing) modes.
+
+use crate::reg::{AddrReg, DataReg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operation size: byte, word (16-bit, the natural size of the experiments'
+/// integer data), or long (32-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Size {
+    Byte,
+    Word,
+    Long,
+}
+
+impl Size {
+    /// Number of bytes moved by an access of this size.
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        match self {
+            Size::Byte => 1,
+            Size::Word => 2,
+            Size::Long => 4,
+        }
+    }
+
+    /// Number of 16-bit bus accesses a data transfer of this size needs.
+    /// The MC68000 has a 16-bit data bus, so a long word takes two accesses.
+    #[inline]
+    pub fn bus_accesses(self) -> u32 {
+        match self {
+            Size::Byte | Size::Word => 1,
+            Size::Long => 2,
+        }
+    }
+
+    /// Mask keeping only the bits covered by this size.
+    #[inline]
+    pub fn mask(self) -> u32 {
+        match self {
+            Size::Byte => 0xFF,
+            Size::Word => 0xFFFF,
+            Size::Long => 0xFFFF_FFFF,
+        }
+    }
+
+    /// Truncate a value to this size.
+    #[inline]
+    pub fn truncate(self, v: u32) -> u32 {
+        v & self.mask()
+    }
+
+    /// Most significant bit of a value of this size (the `N` flag source).
+    #[inline]
+    pub fn msb(self, v: u32) -> bool {
+        match self {
+            Size::Byte => v & 0x80 != 0,
+            Size::Word => v & 0x8000 != 0,
+            Size::Long => v & 0x8000_0000 != 0,
+        }
+    }
+
+    /// Sign-extend a value of this size to 32 bits (as `MOVEA`/`ADDA` do for words).
+    #[inline]
+    pub fn sign_extend(self, v: u32) -> u32 {
+        match self {
+            Size::Byte => v as u8 as i8 as i32 as u32,
+            Size::Word => v as u16 as i16 as i32 as u32,
+            Size::Long => v,
+        }
+    }
+
+    /// Merge `new` into `old`, replacing only the bits covered by this size.
+    /// This is how a sub-long write updates a 32-bit register.
+    #[inline]
+    pub fn merge(self, old: u32, new: u32) -> u32 {
+        (old & !self.mask()) | (new & self.mask())
+    }
+
+    /// Assembler suffix (`.B`, `.W`, `.L`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Size::Byte => ".B",
+            Size::Word => ".W",
+            Size::Long => ".L",
+        }
+    }
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Effective address: the subset of MC68000 addressing modes used by the
+/// experiment programs.
+///
+/// The address-register indirect modes with post-increment are the workhorses of
+/// the matrix-multiplication inner loop: the paper notes that index calculation
+/// was done with "the MC68000's auto-increment mode", which adds no extra
+/// execution time over the plain indirect mode on stores (and 4 cycles on loads,
+/// already included in the timing tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ea {
+    /// Data register direct: `Dn`.
+    D(DataReg),
+    /// Address register direct: `An`.
+    A(AddrReg),
+    /// Address register indirect: `(An)`.
+    Ind(AddrReg),
+    /// Indirect with post-increment: `(An)+`.
+    PostInc(AddrReg),
+    /// Indirect with pre-decrement: `-(An)`.
+    PreDec(AddrReg),
+    /// Indirect with 16-bit signed displacement: `d16(An)`.
+    Disp(i16, AddrReg),
+    /// Absolute short address: `addr.W` (sign-extended 16-bit address).
+    AbsW(u16),
+    /// Absolute long address: `addr.L`.
+    AbsL(u32),
+    /// Immediate: `#imm`.
+    Imm(u32),
+}
+
+impl Ea {
+    /// Number of extension words this addressing mode appends to the opcode word.
+    pub fn ext_words(self, size: Size) -> u32 {
+        match self {
+            Ea::D(_) | Ea::A(_) | Ea::Ind(_) | Ea::PostInc(_) | Ea::PreDec(_) => 0,
+            Ea::Disp(..) | Ea::AbsW(_) => 1,
+            Ea::AbsL(_) => 2,
+            Ea::Imm(_) => match size {
+                Size::Byte | Size::Word => 1,
+                Size::Long => 2,
+            },
+        }
+    }
+
+    /// True if this mode references memory (as opposed to a register or immediate).
+    #[inline]
+    pub fn is_memory(self) -> bool {
+        !matches!(self, Ea::D(_) | Ea::A(_) | Ea::Imm(_))
+    }
+
+    /// True if the mode can be the destination of a write.
+    #[inline]
+    pub fn is_writable(self) -> bool {
+        !matches!(self, Ea::Imm(_))
+    }
+
+    /// True if the mode is a plain register (no bus traffic at all).
+    #[inline]
+    pub fn is_register(self) -> bool {
+        matches!(self, Ea::D(_) | Ea::A(_))
+    }
+}
+
+impl fmt::Display for Ea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ea::D(d) => write!(f, "{d}"),
+            Ea::A(a) => write!(f, "{a}"),
+            Ea::Ind(a) => write!(f, "({a})"),
+            Ea::PostInc(a) => write!(f, "({a})+"),
+            Ea::PreDec(a) => write!(f, "-({a})"),
+            Ea::Disp(d, a) => write!(f, "{d}({a})"),
+            Ea::AbsW(x) => write!(f, "${x:04X}.W"),
+            Ea::AbsL(x) => write!(f, "${x:08X}.L"),
+            Ea::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_arithmetic() {
+        assert_eq!(Size::Byte.bytes(), 1);
+        assert_eq!(Size::Word.bytes(), 2);
+        assert_eq!(Size::Long.bytes(), 4);
+        assert_eq!(Size::Long.bus_accesses(), 2);
+        assert_eq!(Size::Word.truncate(0x12345), 0x2345);
+        assert_eq!(Size::Byte.merge(0xAABBCCDD, 0x11), 0xAABBCC11);
+        assert_eq!(Size::Word.sign_extend(0x8000), 0xFFFF_8000);
+        assert_eq!(Size::Byte.sign_extend(0x7F), 0x7F);
+    }
+
+    #[test]
+    fn ext_word_counts() {
+        use crate::reg::AddrReg::*;
+        assert_eq!(Ea::Ind(A0).ext_words(Size::Word), 0);
+        assert_eq!(Ea::Disp(4, A1).ext_words(Size::Word), 1);
+        assert_eq!(Ea::AbsL(0x10000).ext_words(Size::Byte), 2);
+        assert_eq!(Ea::Imm(5).ext_words(Size::Word), 1);
+        assert_eq!(Ea::Imm(5).ext_words(Size::Long), 2);
+    }
+
+    #[test]
+    fn memory_classification() {
+        use crate::reg::{AddrReg::*, DataReg::*};
+        assert!(!Ea::D(D0).is_memory());
+        assert!(!Ea::Imm(1).is_memory());
+        assert!(Ea::PostInc(A2).is_memory());
+        assert!(Ea::AbsW(0x100).is_memory());
+        assert!(!Ea::Imm(1).is_writable());
+        assert!(Ea::Ind(A0).is_writable());
+        assert!(Ea::A(A3).is_register());
+    }
+
+    #[test]
+    fn display_forms() {
+        use crate::reg::{AddrReg::*, DataReg::*};
+        assert_eq!(Ea::PostInc(A1).to_string(), "(A1)+");
+        assert_eq!(Ea::PreDec(A7).to_string(), "-(A7)");
+        assert_eq!(Ea::Disp(-4, A2).to_string(), "-4(A2)");
+        assert_eq!(Ea::Imm(42).to_string(), "#42");
+        assert_eq!(Ea::D(D5).to_string(), "D5");
+    }
+}

@@ -1,0 +1,180 @@
+//! Register file definitions: data registers, address registers, condition codes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the eight MC68000 data registers `D0`–`D7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DataReg {
+    D0,
+    D1,
+    D2,
+    D3,
+    D4,
+    D5,
+    D6,
+    D7,
+}
+
+impl DataReg {
+    /// All data registers in numeric order.
+    pub const ALL: [DataReg; 8] = [
+        DataReg::D0,
+        DataReg::D1,
+        DataReg::D2,
+        DataReg::D3,
+        DataReg::D4,
+        DataReg::D5,
+        DataReg::D6,
+        DataReg::D7,
+    ];
+
+    /// Register number 0–7.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Register from a number 0–7; `None` otherwise.
+    pub fn from_index(i: usize) -> Option<DataReg> {
+        Self::ALL.get(i).copied()
+    }
+}
+
+impl fmt::Display for DataReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.index())
+    }
+}
+
+/// One of the eight MC68000 address registers `A0`–`A7` (`A7` is the stack pointer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AddrReg {
+    A0,
+    A1,
+    A2,
+    A3,
+    A4,
+    A5,
+    A6,
+    A7,
+}
+
+impl AddrReg {
+    /// All address registers in numeric order.
+    pub const ALL: [AddrReg; 8] = [
+        AddrReg::A0,
+        AddrReg::A1,
+        AddrReg::A2,
+        AddrReg::A3,
+        AddrReg::A4,
+        AddrReg::A5,
+        AddrReg::A6,
+        AddrReg::A7,
+    ];
+
+    /// Register number 0–7.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Register from a number 0–7; `None` otherwise.
+    pub fn from_index(i: usize) -> Option<AddrReg> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// The stack pointer alias.
+    pub const SP: AddrReg = AddrReg::A7;
+}
+
+impl fmt::Display for AddrReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.index())
+    }
+}
+
+/// The MC68000 condition-code register (the user byte of the status register).
+///
+/// * `x` — extend: carry for multi-precision arithmetic,
+/// * `n` — negative: most significant bit of the result,
+/// * `z` — zero: result was zero,
+/// * `v` — overflow: signed arithmetic overflow,
+/// * `c` — carry/borrow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ccr {
+    pub x: bool,
+    pub n: bool,
+    pub z: bool,
+    pub v: bool,
+    pub c: bool,
+}
+
+impl Ccr {
+    /// All flags cleared.
+    pub const CLEAR: Ccr = Ccr { x: false, n: false, z: false, v: false, c: false };
+
+    /// Set `N` and `Z` from a result value of the given size; clear `V` and `C`.
+    /// This is the flag behaviour of `MOVE`, `AND`, `OR`, `EOR`, `MULU`, `CLR`, `TST`.
+    pub fn set_logic(&mut self, value: u32, size: crate::Size) {
+        self.n = size.msb(value);
+        self.z = size.truncate(value) == 0;
+        self.v = false;
+        self.c = false;
+    }
+}
+
+impl fmt::Display for Ccr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "X={} N={} Z={} V={} C={}",
+            self.x as u8, self.n as u8, self.z as u8, self.v as u8, self.c as u8
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Size;
+
+    #[test]
+    fn data_reg_roundtrip() {
+        for (i, r) in DataReg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(DataReg::from_index(i), Some(*r));
+        }
+        assert_eq!(DataReg::from_index(8), None);
+    }
+
+    #[test]
+    fn addr_reg_roundtrip() {
+        for (i, r) in AddrReg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(AddrReg::from_index(i), Some(*r));
+        }
+        assert_eq!(AddrReg::from_index(9), None);
+        assert_eq!(AddrReg::SP, AddrReg::A7);
+    }
+
+    #[test]
+    fn ccr_logic_flags() {
+        let mut ccr = Ccr::CLEAR;
+        ccr.set_logic(0x8000, Size::Word);
+        assert!(ccr.n && !ccr.z && !ccr.v && !ccr.c);
+        ccr.set_logic(0x0001_0000, Size::Word); // truncates to 0
+        assert!(!ccr.n && ccr.z);
+        ccr.set_logic(0x80, Size::Byte);
+        assert!(ccr.n && !ccr.z);
+        ccr.set_logic(0x8000_0000, Size::Long);
+        assert!(ccr.n && !ccr.z);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DataReg::D3.to_string(), "D3");
+        assert_eq!(AddrReg::A6.to_string(), "A6");
+        assert!(Ccr::CLEAR.to_string().contains("Z=0"));
+    }
+}

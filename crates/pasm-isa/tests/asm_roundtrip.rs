@@ -1,0 +1,134 @@
+//! Property test: for the branch-free subset of the ISA, the disassembly
+//! (`Display`) of any instruction re-assembles to the same instruction.
+//! (Branches print numeric targets rather than label names, so they are
+//! exercised by the unit tests instead.)
+
+use pasm_isa::asm::assemble;
+use pasm_isa::{AddrReg, DataReg, Ea, Instr, ShiftCount, ShiftKind, Size};
+use proptest::prelude::*;
+
+fn data_reg() -> impl Strategy<Value = DataReg> {
+    (0usize..8).prop_map(|i| DataReg::from_index(i).unwrap())
+}
+
+fn addr_reg() -> impl Strategy<Value = AddrReg> {
+    (0usize..8).prop_map(|i| AddrReg::from_index(i).unwrap())
+}
+
+/// Any addressing mode the assembler can parse back from its display form.
+fn ea() -> impl Strategy<Value = Ea> {
+    prop_oneof![
+        data_reg().prop_map(Ea::D),
+        addr_reg().prop_map(Ea::A),
+        addr_reg().prop_map(Ea::Ind),
+        addr_reg().prop_map(Ea::PostInc),
+        addr_reg().prop_map(Ea::PreDec),
+        (any::<i16>(), addr_reg()).prop_map(|(d, a)| Ea::Disp(d, a)),
+        (0u16..=0xFFFE).prop_map(|v| Ea::AbsW(v & !1)),
+        (0u32..=0x00FF_FFFE).prop_map(|v| Ea::AbsL(v & !1)),
+        any::<u16>().prop_map(|v| Ea::Imm(v as u32)),
+    ]
+}
+
+fn mem_or_reg_writable() -> impl Strategy<Value = Ea> {
+    ea().prop_filter("writable", |e| e.is_writable())
+}
+
+fn size() -> impl Strategy<Value = Size> {
+    prop_oneof![Just(Size::Byte), Just(Size::Word), Just(Size::Long)]
+}
+
+fn shift_kind() -> impl Strategy<Value = ShiftKind> {
+    prop_oneof![
+        Just(ShiftKind::Lsl),
+        Just(ShiftKind::Lsr),
+        Just(ShiftKind::Asl),
+        Just(ShiftKind::Asr),
+        Just(ShiftKind::Rol),
+        Just(ShiftKind::Ror),
+    ]
+}
+
+/// Branch-free instructions whose display is assembler-compatible.
+fn roundtrippable() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (size(), ea(), mem_or_reg_writable()).prop_map(|(s, src, dst)| {
+            match dst {
+                // MOVE to An prints as MOVEA and must stay a word/long op.
+                Ea::A(a) => Instr::Movea {
+                    size: if s == Size::Byte { Size::Word } else { s },
+                    src,
+                    dst: a,
+                },
+                _ => Instr::Move { size: s, src, dst },
+            }
+        }),
+        (any::<i8>(), data_reg()).prop_map(|(v, d)| Instr::Moveq { value: v, dst: d }),
+        (size(), mem_or_reg_writable()).prop_map(|(s, d)| Instr::Clr { size: s, dst: d }),
+        data_reg().prop_map(|d| Instr::Swap { dst: d }),
+        (size(), ea(), data_reg()).prop_map(|(s, src, dst)| Instr::Add { size: s, src, dst }),
+        (size(), ea(), data_reg()).prop_map(|(s, src, dst)| Instr::Sub { size: s, src, dst }),
+        (size(), ea(), addr_reg()).prop_map(|(s, src, dst)| Instr::Adda {
+            size: if s == Size::Byte { Size::Word } else { s },
+            src,
+            dst
+        }),
+        (size(), 1u8..=8, data_reg())
+            .prop_map(|(s, v, d)| Instr::Addq { size: s, value: v, dst: Ea::D(d) }),
+        (ea(), data_reg()).prop_map(|(src, dst)| Instr::Mulu { src, dst }),
+        (ea(), data_reg()).prop_map(|(src, dst)| Instr::Muls { src, dst }),
+        (ea(), data_reg()).prop_map(|(src, dst)| Instr::Divu { src, dst }),
+        (ea(), data_reg()).prop_map(|(src, dst)| Instr::Divs { src, dst }),
+        (size(), ea(), data_reg()).prop_map(|(s, src, dst)| Instr::And { size: s, src, dst }),
+        (size(), ea(), data_reg()).prop_map(|(s, src, dst)| Instr::Or { size: s, src, dst }),
+        (size(), mem_or_reg_writable()).prop_map(|(s, d)| Instr::Not { size: s, dst: d }),
+        (size(), mem_or_reg_writable()).prop_map(|(s, d)| Instr::Neg { size: s, dst: d }),
+        (shift_kind(), size(), 1u8..=8, data_reg()).prop_map(|(k, s, n, d)| Instr::Shift {
+            kind: k,
+            size: s,
+            count: ShiftCount::Imm(n),
+            dst: d
+        }),
+        (shift_kind(), size(), data_reg(), data_reg()).prop_map(|(k, s, c, d)| Instr::Shift {
+            kind: k,
+            size: s,
+            count: ShiftCount::Reg(c),
+            dst: d
+        }),
+        (size(), ea(), data_reg()).prop_map(|(s, src, dst)| Instr::Cmp { size: s, src, dst }),
+        (0u8..16, ea().prop_filter("btst dst", |e| !matches!(e, Ea::Imm(_) | Ea::A(_))))
+            .prop_map(|(bit, dst)| Instr::Btst { bit, dst }),
+        (size(), mem_or_reg_writable()).prop_map(|(s, d)| Instr::Tst { size: s, dst: d }),
+        Just(Instr::Nop),
+        Just(Instr::Rts),
+        Just(Instr::Halt),
+        Just(Instr::JmpSimd),
+        Just(Instr::Barrier),
+        any::<u16>().prop_map(|m| Instr::SetMask { mask: m }),
+        Just(Instr::StartPes),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn display_reassembles_to_the_same_instruction(i in roundtrippable()) {
+        let text = i.to_string();
+        let prog = assemble(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
+        prop_assert_eq!(prog.instrs.len(), 1, "`{}`", text);
+        prop_assert_eq!(prog.instrs[0], i, "`{}`", text);
+    }
+
+    #[test]
+    fn words_and_bounds_are_consistent(i in roundtrippable()) {
+        // Word count is positive for real instructions and bounded by
+        // opcode + 4 extension words; static bounds are ordered.
+        let w = i.words();
+        prop_assert!((1..=6).contains(&w), "{i}: {w} words");
+        let b = pasm_isa::analysis::instr_bounds(&i);
+        prop_assert!(b.min <= b.max);
+        prop_assert!(b.max < 200, "{i}: implausible {b:?}");
+    }
+}

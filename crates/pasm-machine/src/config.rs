@@ -1,0 +1,137 @@
+//! Machine configuration: sizes and timing parameters of the simulated prototype.
+
+use pasm_mem::MemTiming;
+use serde::{Deserialize, Serialize};
+
+/// How the Fetch Unit releases a queued SIMD instruction to its PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReleaseMode {
+    /// The real hardware rule: an instruction is released only after **all**
+    /// enabled PEs have requested it, so every variable-time instruction costs
+    /// the *maximum* across PEs (paper §3 and the T_SIMD equation in §5.2).
+    Lockstep,
+    /// Ablation: each PE receives the instruction as soon as it asks (as if
+    /// every PE had its own private queue). Removes the per-instruction max
+    /// and isolates how much of the SIMD cost is the lockstep barrier.
+    Decoupled,
+}
+
+/// Full parameter set of a simulated PASM prototype.
+///
+/// Defaults ([`MachineConfig::prototype`]) model the 30-processor prototype
+/// used in the paper: N = 16 PEs, Q = 4 MCs, 8 MHz MC68000s, DRAM PE memory
+/// with one more wait state than the static-RAM Fetch Unit queue, and a
+/// circuit-switched 8-bit-wide Extra-Stage Cube network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of processing elements (power of two).
+    pub n_pes: usize,
+    /// Number of micro controllers; each controls `n_pes / n_mcs` PEs.
+    pub n_mcs: usize,
+    /// Bytes of main memory per PE.
+    pub pe_mem_bytes: usize,
+    /// PE main-memory (DRAM) timing.
+    pub pe_dram: MemTiming,
+    /// Fetch Unit queue (SRAM) timing, as seen by a PE fetching from the queue.
+    pub fu_sram: MemTiming,
+    /// MC program-memory timing.
+    pub mc_dram: MemTiming,
+    /// Fetch Unit queue capacity in 16-bit words.
+    pub queue_capacity_words: u32,
+    /// Cycles the Fetch Unit controller needs to move one word into the queue.
+    pub fuc_cycles_per_word: u64,
+    /// Latency from the MC's enqueue command to the controller starting to move.
+    pub fuc_command_cycles: u64,
+    /// Extra cycles from the last enabled PE's request to instruction delivery.
+    pub simd_release_cycles: u64,
+    /// Network circuit set-up cost in cycles (charged once per circuit).
+    pub net_setup_cycles: u64,
+    /// Latency of one 8-bit word through an established circuit.
+    pub net_word_cycles: u64,
+    /// Release rule (see [`ReleaseMode`]).
+    pub release_mode: ReleaseMode,
+    /// Hard stop for the scheduler (guards against runaway programs).
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The PASM prototype as described in the paper (N = 16, Q = 4).
+    pub fn prototype() -> Self {
+        MachineConfig {
+            n_pes: 16,
+            n_mcs: 4,
+            pe_mem_bytes: 1 << 20,
+            pe_dram: MemTiming::PE_DRAM,
+            fu_sram: MemTiming::FU_SRAM,
+            mc_dram: MemTiming::MC_DRAM,
+            queue_capacity_words: 512,
+            fuc_cycles_per_word: 2,
+            fuc_command_cycles: 4,
+            simd_release_cycles: 0,
+            net_setup_cycles: 120,
+            net_word_cycles: 4,
+            release_mode: ReleaseMode::Lockstep,
+            max_cycles: u64::MAX,
+        }
+    }
+
+    /// A small machine for fast unit tests (4 PEs, 1 MC, 64 KiB memories).
+    pub fn small() -> Self {
+        MachineConfig {
+            n_pes: 4,
+            n_mcs: 1,
+            pe_mem_bytes: 1 << 16,
+            ..Self::prototype()
+        }
+    }
+
+    /// PEs per MC group.
+    pub fn pes_per_mc(&self) -> usize {
+        self.n_pes / self.n_mcs
+    }
+
+    /// Validate structural constraints; panics with a descriptive message.
+    pub fn assert_valid(&self) {
+        assert!(self.n_pes.is_power_of_two(), "n_pes must be a power of two");
+        assert!(self.n_mcs >= 1 && self.n_pes.is_multiple_of(self.n_mcs), "n_mcs must divide n_pes");
+        assert!(self.pe_mem_bytes >= 1024, "PE memory unrealistically small");
+        assert!(self.queue_capacity_words >= 4, "queue must hold at least one instruction");
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_matches_paper() {
+        let c = MachineConfig::prototype();
+        c.assert_valid();
+        assert_eq!(c.n_pes, 16);
+        assert_eq!(c.n_mcs, 4);
+        assert_eq!(c.pes_per_mc(), 4);
+        assert_eq!(c.release_mode, ReleaseMode::Lockstep);
+        // The SRAM queue must be at least one wait state faster than PE DRAM.
+        assert!(c.fu_sram.wait_states < c.pe_dram.wait_states);
+    }
+
+    #[test]
+    fn small_config_valid() {
+        let c = MachineConfig::small();
+        c.assert_valid();
+        assert_eq!(c.pes_per_mc(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_pe_count_rejected() {
+        let c = MachineConfig { n_pes: 12, ..MachineConfig::prototype() };
+        c.assert_valid();
+    }
+}

@@ -1,0 +1,807 @@
+//! The machine: PEs, MCs, Fetch Units, network state, and the event scheduler.
+//!
+//! Every component (PE, MC, Fetch Unit controller) carries its own local cycle
+//! clock; the scheduler repeatedly executes the runnable component with the
+//! smallest next event time, so cross-component interactions (queue releases,
+//! network handshakes, controller stalls) are resolved in global time order.
+//! All of the paper's phenomena are *emergent* here: SIMD's per-instruction
+//! `max` comes from the Fetch Unit release rule, MIMD's polling overhead from
+//! actual polling instructions, and SIMD superlinearity from the MC executing
+//! control flow while its PEs compute.
+
+use crate::config::{MachineConfig, ReleaseMode};
+use crate::cpu::{exec, Block, Bus, Cpu, Effect, McEffect, MemBus, StepOutcome};
+use crate::fetch_unit::{EntryKind, FetchUnit, FuStats, QueueEntry};
+use crate::trace::{McTrace, PeTrace};
+use pasm_isa::{Instr, Program, Size};
+use pasm_mem::map::{self, MemMap, NetReg, Region};
+use pasm_mem::Memory;
+use pasm_net::{ring_circuits, EscNetwork, NetError};
+use serde::{Deserialize, Serialize};
+
+/// Execution mode of a PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeMode {
+    /// Fetching instructions from its own program (own memory).
+    Mimd,
+    /// Fetching instructions from its MC's Fetch Unit queue.
+    Simd,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PeState {
+    /// Not started.
+    Idle,
+    /// Can execute at `ready_at`.
+    Ready,
+    /// Waiting for a word from SIMD space (instruction fetch or barrier read).
+    AwaitSimd { since: u64 },
+    /// Blocked writing the network transmit register.
+    AwaitNetTx { since: u64 },
+    /// Blocked reading the network receive register.
+    AwaitNetRx { since: u64 },
+    /// Stopped.
+    Halted,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum McState {
+    Idle,
+    Ready,
+    /// Waiting for the Fetch Unit controller to accept the next command.
+    AwaitFuc { since: u64 },
+    Halted,
+}
+
+/// A byte travelling to (or parked at) a PE's receive register.
+#[derive(Debug, Clone, Copy)]
+struct RxByte {
+    value: u8,
+    valid_at: u64,
+}
+
+/// Shared network data-plane state (the structural routing lives in `pasm-net`).
+#[derive(Debug)]
+struct NetState {
+    /// Established circuit destination per PE.
+    dest: Vec<Option<usize>>,
+    /// In-flight / parked byte per destination PE.
+    rx: Vec<Option<RxByte>>,
+}
+
+struct Pe {
+    cpu: Cpu,
+    mem: Memory,
+    program: Program,
+    mode: PeMode,
+    state: PeState,
+    ready_at: u64,
+    /// SIMD-delivered instruction awaiting execution.
+    pending: Option<QueueEntry>,
+    /// Queue cursor for `ReleaseMode::Decoupled`.
+    cursor: usize,
+    trace: PeTrace,
+}
+
+struct Mc {
+    cpu: Cpu,
+    mem: Memory,
+    program: Program,
+    state: McState,
+    ready_at: u64,
+    trace: McTrace,
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Global completion time: the latest halt over all components.
+    pub makespan: u64,
+    /// Latest PE halt time (excludes MC wind-down).
+    pub pe_makespan: u64,
+    /// Per-PE traces.
+    pub pe: Vec<PeTrace>,
+    /// Per-MC traces.
+    pub mc: Vec<McTrace>,
+    /// Per-Fetch-Unit statistics.
+    pub fu: Vec<FuStats>,
+}
+
+impl RunResult {
+    /// Sum of a phase's cycles, maximized over PEs (the paper's per-phase
+    /// contribution is the slowest processor's view).
+    pub fn phase_max(&self, phase: usize) -> u64 {
+        self.pe.iter().map(|t| t.phase_cycles[phase]).max().unwrap_or(0)
+    }
+
+    /// Mean over PEs that executed anything.
+    pub fn phase_mean(&self, phase: usize) -> f64 {
+        let active: Vec<&PeTrace> = self.pe.iter().filter(|t| t.instrs > 0).collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        active.iter().map(|t| t.phase_cycles[phase] as f64).sum::<f64>() / active.len() as f64
+    }
+
+    /// Total instructions executed by PEs.
+    pub fn pe_instrs(&self) -> u64 {
+        self.pe.iter().map(|t| t.instrs).sum()
+    }
+}
+
+/// Errors a run can end with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// No component can make progress but not everything has halted.
+    Deadlock(String),
+    /// The configured cycle budget was exceeded.
+    CycleLimit(u64),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Deadlock(s) => write!(f, "deadlock: {s}"),
+            RunError::CycleLimit(c) => write!(f, "cycle limit {c} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The simulated PASM prototype.
+pub struct Machine {
+    cfg: MachineConfig,
+    pes: Vec<Pe>,
+    mcs: Vec<Mc>,
+    fus: Vec<FetchUnit>,
+    net: NetState,
+    esc: EscNetwork,
+}
+
+enum Component {
+    Pe(usize),
+    Mc(usize),
+    Fuc(usize),
+}
+
+impl Machine {
+    /// Build a machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.assert_valid();
+        let pes = (0..cfg.n_pes)
+            .map(|_| Pe {
+                cpu: Cpu::default(),
+                mem: Memory::new(cfg.pe_mem_bytes),
+                program: Program::default(),
+                mode: PeMode::Mimd,
+                state: PeState::Idle,
+                ready_at: 0,
+                pending: None,
+                cursor: 0,
+                trace: PeTrace::default(),
+            })
+            .collect();
+        let mcs = (0..cfg.n_mcs)
+            .map(|_| Mc {
+                cpu: Cpu::default(),
+                mem: Memory::new(1 << 16),
+                program: Program::default(),
+                state: McState::Idle,
+                ready_at: 0,
+                trace: McTrace::default(),
+            })
+            .collect();
+        let fus = (0..cfg.n_mcs).map(|_| FetchUnit::new(cfg.queue_capacity_words)).collect();
+        let net = NetState { dest: vec![None; cfg.n_pes], rx: vec![None; cfg.n_pes] };
+        let esc = EscNetwork::new(cfg.n_pes.max(2));
+        Machine { cfg, pes, mcs, fus, net, esc }
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Controlling MC of a PE: PASM assigns PE *i* to MC *i mod Q* (the
+    /// low-order q bits of the PE number select the MC).
+    pub fn mc_of_pe(&self, pe: usize) -> usize {
+        pe % self.cfg.n_mcs
+    }
+
+    /// Group-local index of a PE within its MC group (its mask bit).
+    pub fn group_bit(&self, pe: usize) -> u16 {
+        (pe / self.cfg.n_mcs) as u16
+    }
+
+    /// Physical PEs controlled by an MC, in mask-bit order.
+    pub fn group_pes(&self, mc: usize) -> Vec<usize> {
+        (0..self.cfg.pes_per_mc()).map(|j| j * self.cfg.n_mcs + mc).collect()
+    }
+
+    /// Load a PE's MIMD program.
+    pub fn load_pe_program(&mut self, pe: usize, program: Program) {
+        program.validate().expect("invalid PE program");
+        self.pes[pe].program = program;
+    }
+
+    /// Load an MC's control program.
+    pub fn load_mc_program(&mut self, mc: usize, program: Program) {
+        program.validate().expect("invalid MC program");
+        self.mcs[mc].program = program;
+        self.mcs[mc].state = McState::Ready;
+    }
+
+    /// Direct access to a PE's memory (data set-up; the paper's secondary-
+    /// storage I/O is outside the measured program time).
+    pub fn pe_mem_mut(&mut self, pe: usize) -> &mut Memory {
+        &mut self.pes[pe].mem
+    }
+
+    /// Read access to a PE's memory (result verification).
+    pub fn pe_mem(&self, pe: usize) -> &Memory {
+        &self.pes[pe].mem
+    }
+
+    /// Read access to a PE's CPU (tests).
+    pub fn pe_cpu(&self, pe: usize) -> &Cpu {
+        &self.pes[pe].cpu
+    }
+
+    /// Mutable access to a PE's CPU (test set-up).
+    pub fn pe_cpu_mut(&mut self, pe: usize) -> &mut Cpu {
+        &mut self.pes[pe].cpu
+    }
+
+    /// The structural network (fault injection, reconfiguration).
+    pub fn network_mut(&mut self) -> &mut EscNetwork {
+        &mut self.esc
+    }
+
+    /// Establish one circuit `src → dst` (consuming boxes in the ESC network).
+    pub fn connect(&mut self, src: usize, dst: usize) -> Result<(), NetError> {
+        self.esc.establish(src, dst)?;
+        self.net.dest[src] = Some(dst);
+        Ok(())
+    }
+
+    /// Establish the matmul ring over the listed physical PEs:
+    /// `pes[k] → pes[(k + len − 1) % len]`.
+    pub fn connect_ring(&mut self, pes: &[usize]) -> Result<(), NetError> {
+        ring_circuits(&mut self.esc, pes)?;
+        let p = pes.len();
+        for (k, &src) in pes.iter().enumerate() {
+            self.net.dest[src] = Some(pes[(k + p - 1) % p]);
+        }
+        Ok(())
+    }
+
+    /// Start a PE directly (tests / serial runs without MC orchestration).
+    pub fn start_pe(&mut self, pe: usize, at: u64) {
+        assert!(!self.pes[pe].program.is_empty(), "PE {pe} has no program");
+        self.pes[pe].state = PeState::Ready;
+        self.pes[pe].ready_at = at;
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduler
+    // ------------------------------------------------------------------
+
+    fn next_runnable(&mut self) -> Option<(Component, u64)> {
+        let mut best: Option<(Component, u64)> = None;
+        let consider = |c: Component, t: u64, best: &mut Option<(Component, u64)>| {
+            if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+                *best = Some((c, t));
+            }
+        };
+        for i in 0..self.pes.len() {
+            if self.pes[i].state == PeState::Ready {
+                consider(Component::Pe(i), self.pes[i].ready_at, &mut best);
+            }
+        }
+        for i in 0..self.mcs.len() {
+            if self.mcs[i].state == McState::Ready {
+                consider(Component::Mc(i), self.mcs[i].ready_at, &mut best);
+            }
+        }
+        for i in 0..self.fus.len() {
+            if let Some(t) = self.fus[i].next_move_completion(self.cfg.fuc_cycles_per_word) {
+                consider(Component::Fuc(i), t, &mut best);
+            }
+        }
+        best
+    }
+
+    /// Run until everything halts (or idles). Returns the collected result.
+    pub fn run(&mut self) -> Result<RunResult, RunError> {
+        loop {
+            match self.next_runnable() {
+                Some((_, t)) if t > self.cfg.max_cycles => {
+                    return Err(RunError::CycleLimit(self.cfg.max_cycles));
+                }
+                Some((Component::Pe(i), _)) => self.step_pe(i),
+                Some((Component::Mc(i), _)) => self.step_mc(i),
+                Some((Component::Fuc(i), t)) => self.step_fuc(i, t),
+                None => break,
+            }
+        }
+        // Completion check: anything still waiting is a deadlock.
+        let mut stuck = Vec::new();
+        for (i, pe) in self.pes.iter().enumerate() {
+            match pe.state {
+                PeState::Idle | PeState::Halted | PeState::Ready => {}
+                s => stuck.push(format!("PE{i} {s:?} pc={}", pe.cpu.pc)),
+            }
+        }
+        for (i, mc) in self.mcs.iter().enumerate() {
+            if let McState::AwaitFuc { .. } = mc.state {
+                stuck.push(format!("MC{i} AwaitFuc pc={}", mc.cpu.pc));
+            }
+        }
+        if !stuck.is_empty() {
+            return Err(RunError::Deadlock(stuck.join(", ")));
+        }
+        Ok(self.result())
+    }
+
+    fn result(&self) -> RunResult {
+        let pe_makespan = self.pes.iter().map(|p| p.trace.finished_at).max().unwrap_or(0);
+        let mc_makespan = self.mcs.iter().map(|m| m.trace.finished_at).max().unwrap_or(0);
+        RunResult {
+            makespan: pe_makespan.max(mc_makespan),
+            pe_makespan,
+            pe: self.pes.iter().map(|p| p.trace.clone()).collect(),
+            mc: self.mcs.iter().map(|m| m.trace.clone()).collect(),
+            fu: self.fus.iter().map(|f| f.stats).collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // PE stepping
+    // ------------------------------------------------------------------
+
+    fn step_pe(&mut self, i: usize) {
+        let now = self.pes[i].ready_at;
+
+        let (instr, simd_delivered) = match self.pes[i].pending {
+            Some(QueueEntry { kind: EntryKind::Instr(ins), .. }) => (ins, true),
+            _ => {
+                let pc = self.pes[i].cpu.pc;
+                let prog = &self.pes[i].program;
+                assert!(pc < prog.instrs.len(), "PE {i}: pc {pc} fell off the program");
+                (prog.instrs[pc], false)
+            }
+        };
+
+        // Execute against the PE bus.
+        let outcome;
+        let extra_cycles;
+        let wrote_net_to;
+        let consumed_rx;
+        {
+            let pe = &mut self.pes[i];
+            let mut bus = PeBus {
+                mem: &mut pe.mem,
+                net: &mut self.net,
+                pe: i,
+                now,
+                net_word_cycles: self.cfg.net_word_cycles,
+                extra_cycles: 0,
+                wrote_net_to: None,
+                consumed_rx: false,
+            };
+            outcome = exec(&mut pe.cpu, &mut bus, &instr);
+            extra_cycles = bus.extra_cycles;
+            wrote_net_to = bus.wrote_net_to;
+            consumed_rx = bus.consumed_rx;
+        }
+
+        let r = match outcome {
+            StepOutcome::Blocked(Block::NetTxFull) => {
+                self.pes[i].state = PeState::AwaitNetTx { since: now };
+                return;
+            }
+            StepOutcome::Blocked(Block::NetRxEmpty) => {
+                self.pes[i].state = PeState::AwaitNetRx { since: now };
+                return;
+            }
+            StepOutcome::Done(r) => r,
+        };
+
+        // Charge memory waits: instruction words come from the queue (SRAM) in
+        // SIMD mode, from PE DRAM in MIMD mode; operand traffic is always DRAM.
+        let fetch_timing = if simd_delivered { self.cfg.fu_sram } else { self.cfg.pe_dram };
+        let fetch_wait = fetch_timing.burst_delay(now, r.fetch_words);
+        let data_wait = self.cfg.pe_dram.burst_delay(now + fetch_wait, r.data_accesses);
+        let duration = r.cycles as u64 + fetch_wait + data_wait + extra_cycles;
+        let new_now = now + duration;
+
+        {
+            let t = &mut self.pes[i].trace;
+            if !matches!(instr, Instr::Mark { .. }) {
+                t.instrs += 1;
+            }
+            t.busy_cycles += duration;
+            t.fetch_wait_cycles += fetch_wait;
+            t.data_wait_cycles += data_wait;
+            if r.mulu_cycles > 0 {
+                t.mul_count += 1;
+                t.mul_cycles += r.mulu_cycles as u64;
+            }
+            if wrote_net_to.is_some() {
+                t.net_bytes_sent += 1;
+            }
+        }
+
+        // Network wakeups.
+        if let Some(dest) = wrote_net_to {
+            if let PeState::AwaitNetRx { since } = self.pes[dest].state {
+                let valid_at = self.net.rx[dest].map(|b| b.valid_at).unwrap_or(new_now);
+                let wake = valid_at.max(since);
+                self.pes[dest].trace.net_rx_stall_cycles += wake - since;
+                self.pes[dest].state = PeState::Ready;
+                self.pes[dest].ready_at = wake;
+            }
+        }
+        if consumed_rx {
+            // Senders blocked on our receive register may proceed.
+            for s in 0..self.pes.len() {
+                if self.net.dest[s] == Some(i) {
+                    if let PeState::AwaitNetTx { since } = self.pes[s].state {
+                        let wake = new_now.max(since);
+                        self.pes[s].trace.net_tx_stall_cycles += wake - since;
+                        self.pes[s].state = PeState::Ready;
+                        self.pes[s].ready_at = wake;
+                    }
+                }
+            }
+        }
+
+        self.pes[i].ready_at = new_now;
+        if simd_delivered {
+            self.pes[i].pending = None;
+        }
+
+        match r.effect {
+            Effect::None | Effect::Mark { .. } => {
+                if let Effect::Mark { begin, phase } = r.effect {
+                    self.pes[i].trace.mark(begin, phase, new_now);
+                }
+                if self.pes[i].mode == PeMode::Simd {
+                    self.issue_simd_request(i, new_now);
+                }
+            }
+            Effect::Halt => {
+                self.pes[i].state = PeState::Halted;
+                self.pes[i].trace.finished_at = new_now;
+            }
+            Effect::EnterSimd => {
+                self.pes[i].mode = PeMode::Simd;
+                self.issue_simd_request(i, new_now);
+            }
+            Effect::ExitSimd { target } => {
+                assert!(simd_delivered, "PE {i}: JMPMIMD outside the SIMD stream");
+                self.pes[i].mode = PeMode::Mimd;
+                self.pes[i].cpu.pc = target;
+            }
+            Effect::BarrierRequest => {
+                assert_eq!(self.pes[i].mode, PeMode::Mimd, "BARRIER is a MIMD-mode read");
+                self.pes[i].state = PeState::AwaitSimd { since: new_now };
+                let mc = self.mc_of_pe(i);
+                self.check_release(mc);
+            }
+            Effect::Mc(_) => panic!("PE {i} executed an MC-only operation: {instr}"),
+        }
+    }
+
+    fn issue_simd_request(&mut self, i: usize, at: u64) {
+        self.pes[i].state = PeState::AwaitSimd { since: at };
+        let mc = self.mc_of_pe(i);
+        self.check_release(mc);
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch Unit release
+    // ------------------------------------------------------------------
+
+    fn check_release(&mut self, mc: usize) {
+        match self.cfg.release_mode {
+            ReleaseMode::Lockstep => self.check_release_lockstep(mc),
+            ReleaseMode::Decoupled => self.check_release_decoupled(mc),
+        }
+    }
+
+    /// Real hardware rule: the head entry is released when every PE enabled by
+    /// its mask has an outstanding request; release time = max(entry ready,
+    /// slowest request) + release overhead.
+    fn check_release_lockstep(&mut self, mc: usize) {
+        loop {
+            let group = self.group_pes(mc);
+            let Some(&head) = self.fus[mc].queue.front() else { return };
+            let enabled: Vec<usize> = group
+                .iter()
+                .copied()
+                .filter(|&pe| head.mask & (1 << self.group_bit(pe)) != 0)
+                .collect();
+            if enabled.is_empty() {
+                // Nobody is enabled: the entry drains with no effect.
+                self.fus[mc].pop_head(head.ready_at);
+                continue;
+            }
+            let mut max_req = 0u64;
+            let mut all_waiting = true;
+            for &pe in &enabled {
+                match self.pes[pe].state {
+                    PeState::AwaitSimd { since } => max_req = max_req.max(since),
+                    _ => {
+                        all_waiting = false;
+                        break;
+                    }
+                }
+            }
+            if !all_waiting {
+                return;
+            }
+            let release = head.ready_at.max(max_req) + self.cfg.simd_release_cycles;
+            {
+                let stats = &mut self.fus[mc].stats;
+                if head.ready_at > max_req {
+                    stats.empty_stall_cycles += head.ready_at - max_req;
+                    stats.empty_stalls += 1;
+                } else {
+                    stats.barrier_stalls += 1;
+                }
+            }
+            self.fus[mc].pop_head(release);
+            for &pe in &enabled {
+                let PeState::AwaitSimd { since } = self.pes[pe].state else { unreachable!() };
+                self.pes[pe].trace.simd_wait_cycles += release - since;
+                self.pes[pe].state = PeState::Ready;
+                self.pes[pe].ready_at = release;
+                self.pes[pe].pending = match (self.pes[pe].mode, head.kind) {
+                    (PeMode::Simd, EntryKind::Instr(_)) => Some(head),
+                    (PeMode::Simd, EntryKind::Data) => {
+                        panic!("PE {pe}: SIMD instruction fetch got a barrier data word")
+                    }
+                    // A MIMD barrier read consumes the word, whatever it is.
+                    (PeMode::Mimd, _) => None,
+                };
+            }
+            // The enabled PEs are no longer waiting; the next head (if any)
+            // cannot release until they request again — except entries whose
+            // mask excludes them, handled by the loop.
+        }
+    }
+
+    /// Ablation rule: each PE receives entries at its own pace (as if it had a
+    /// private queue). Entries retire once every enabled PE consumed them.
+    fn check_release_decoupled(&mut self, mc: usize) {
+        let group = self.group_pes(mc);
+        // Serve every waiting PE whose cursor points at an available entry.
+        for &pe in &group {
+            let PeState::AwaitSimd { since } = self.pes[pe].state else { continue };
+            let bit = 1u16 << self.group_bit(pe);
+            loop {
+                let cursor = self.pes[pe].cursor;
+                let Some(entry) = self.fus[mc].queue.get(cursor).copied() else { break };
+                if entry.mask & bit == 0 {
+                    self.pes[pe].cursor += 1;
+                    continue;
+                }
+                let release = entry.ready_at.max(since) + self.cfg.simd_release_cycles;
+                if entry.ready_at > since {
+                    self.fus[mc].stats.empty_stall_cycles += entry.ready_at - since;
+                    self.fus[mc].stats.empty_stalls += 1;
+                }
+                self.fus[mc].queue[cursor].consumed |= bit;
+                self.pes[pe].cursor += 1;
+                self.pes[pe].trace.simd_wait_cycles += release - since;
+                self.pes[pe].state = PeState::Ready;
+                self.pes[pe].ready_at = release;
+                self.pes[pe].pending = match (self.pes[pe].mode, entry.kind) {
+                    (PeMode::Simd, EntryKind::Instr(_)) => Some(entry),
+                    (PeMode::Mimd, _) => None,
+                    (PeMode::Simd, EntryKind::Data) => {
+                        panic!("PE {pe}: SIMD instruction fetch got a barrier data word")
+                    }
+                };
+                break;
+            }
+        }
+        // Retire fully consumed heads.
+        loop {
+            let group_mask: u16 =
+                group.iter().map(|&pe| 1u16 << self.group_bit(pe)).fold(0, |a, b| a | b);
+            let Some(&head) = self.fus[mc].queue.front() else { break };
+            let need = head.mask & group_mask;
+            if need != 0 && head.consumed & need != need {
+                break;
+            }
+            let t = self.fus[mc].fuc_free_at;
+            self.fus[mc].pop_head(t);
+            for &pe in &group {
+                self.pes[pe].cursor = self.pes[pe].cursor.saturating_sub(1);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // MC stepping
+    // ------------------------------------------------------------------
+
+    fn step_mc(&mut self, i: usize) {
+        let now = self.mcs[i].ready_at;
+        let pc = self.mcs[i].cpu.pc;
+        assert!(pc < self.mcs[i].program.instrs.len(), "MC {i}: pc {pc} fell off the program");
+        let instr = self.mcs[i].program.instrs[pc];
+
+        // An enqueue command stalls until the controller finished the previous
+        // command (single command register).
+        if matches!(instr, Instr::Enqueue { .. } | Instr::EnqueueWords { .. })
+            && !self.fus[i].command_done()
+        {
+            self.mcs[i].state = McState::AwaitFuc { since: now };
+            return;
+        }
+
+        let outcome = {
+            let mc = &mut self.mcs[i];
+            exec(&mut mc.cpu, &mut MemBus(&mut mc.mem), &instr)
+        };
+        let r = match outcome {
+            StepOutcome::Done(r) => r,
+            StepOutcome::Blocked(b) => panic!("MC {i} blocked on {b:?} — MCs have no network"),
+        };
+
+        let fetch_wait = self.cfg.mc_dram.burst_delay(now, r.fetch_words);
+        let data_wait = self.cfg.mc_dram.burst_delay(now + fetch_wait, r.data_accesses);
+        let new_now = now + r.cycles as u64 + fetch_wait + data_wait;
+        self.mcs[i].ready_at = new_now;
+        if !matches!(instr, Instr::Mark { .. }) {
+            self.mcs[i].trace.instrs += 1;
+        }
+        self.mcs[i].trace.busy_cycles += new_now - now;
+
+        match r.effect {
+            Effect::None | Effect::Mark { .. } => {}
+            Effect::Halt => {
+                self.mcs[i].state = McState::Halted;
+                self.mcs[i].trace.finished_at = new_now;
+            }
+            Effect::Mc(op) => match op {
+                McEffect::SetMask(m) => self.fus[i].mask = m,
+                McEffect::Enqueue(b) => {
+                    let block = self.mcs[i].program.blocks[b as usize].clone();
+                    self.fus[i].command_block(&block, new_now + self.cfg.fuc_command_cycles);
+                    self.mcs[i].trace.blocks_enqueued += 1;
+                    self.check_release(i);
+                }
+                McEffect::EnqueueWords(c) => {
+                    self.fus[i].command_data_words(c, new_now + self.cfg.fuc_command_cycles);
+                }
+                McEffect::StartPes => {
+                    for pe in self.group_pes(i) {
+                        if self.pes[pe].state == PeState::Idle && !self.pes[pe].program.is_empty()
+                        {
+                            self.pes[pe].state = PeState::Ready;
+                            self.pes[pe].ready_at = new_now;
+                        }
+                    }
+                }
+            },
+            other => panic!("MC {i} produced PE effect {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch Unit controller stepping
+    // ------------------------------------------------------------------
+
+    fn step_fuc(&mut self, i: usize, completion: u64) {
+        self.fus[i].do_move(completion);
+        self.check_release(i);
+        if self.fus[i].command_done() {
+            if let McState::AwaitFuc { since } = self.mcs[i].state {
+                let wake = self.fus[i].fuc_free_at.max(since);
+                self.mcs[i].trace.fuc_wait_cycles += wake - since;
+                self.mcs[i].state = McState::Ready;
+                self.mcs[i].ready_at = wake;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// PE bus
+// ----------------------------------------------------------------------
+
+/// Bus view a PE's instruction executes against: its own memory plus the
+/// memory-mapped network registers and timer.
+struct PeBus<'a> {
+    mem: &'a mut Memory,
+    net: &'a mut NetState,
+    pe: usize,
+    now: u64,
+    net_word_cycles: u64,
+    /// Extra cycles discovered during execution (waiting out a byte in flight).
+    extra_cycles: u64,
+    /// Destination PE of a completed transmit, if any.
+    wrote_net_to: Option<usize>,
+    /// The receive register was consumed.
+    consumed_rx: bool,
+}
+
+impl Bus for PeBus<'_> {
+    fn read(&mut self, addr: u32, size: Size) -> Result<u32, Block> {
+        match MemMap.region(addr) {
+            Region::Main => Ok(self.mem.read(addr, size)),
+            Region::SimdSpace => {
+                panic!("PE {}: raw read of SIMD space — use BARRIER", self.pe)
+            }
+            Region::Net(NetReg::Dtr) => Ok(0),
+            Region::Net(NetReg::Drr) => match self.net.rx[self.pe] {
+                None => Err(Block::NetRxEmpty),
+                Some(b) => {
+                    if b.valid_at > self.now {
+                        self.extra_cycles += b.valid_at - self.now;
+                    }
+                    self.net.rx[self.pe] = None;
+                    self.consumed_rx = true;
+                    Ok(b.value as u32)
+                }
+            },
+            Region::Net(NetReg::Status) => {
+                let tx_ready = match self.net.dest[self.pe] {
+                    Some(d) => self.net.rx[d].is_none(),
+                    None => false,
+                };
+                let rx_valid = self.net.rx[self.pe].is_some_and(|b| b.valid_at <= self.now);
+                Ok((tx_ready as u32) | ((rx_valid as u32) << 1))
+            }
+            Region::Timer => Ok(size.truncate(self.now as u32)),
+        }
+    }
+
+    fn write(&mut self, addr: u32, value: u32, size: Size) -> Result<(), Block> {
+        match MemMap.region(addr) {
+            Region::Main => {
+                self.mem.write(addr, value, size);
+                Ok(())
+            }
+            Region::Net(NetReg::Dtr) => {
+                let dest = self.net.dest[self.pe].unwrap_or_else(|| {
+                    panic!("PE {}: network send with no circuit established", self.pe)
+                });
+                if self.net.rx[dest].is_some() {
+                    return Err(Block::NetTxFull);
+                }
+                self.net.rx[dest] =
+                    Some(RxByte { value: value as u8, valid_at: self.now + self.net_word_cycles });
+                self.wrote_net_to = Some(dest);
+                Ok(())
+            }
+            Region::Net(_) => panic!("PE {}: write to read-only network register", self.pe),
+            Region::SimdSpace | Region::Timer => {
+                panic!("PE {}: write to reserved region {addr:#X}", self.pe)
+            }
+        }
+    }
+}
+
+/// Convenience: absolute EA of the network transmit register.
+pub fn dtr_ea() -> pasm_isa::Ea {
+    pasm_isa::Ea::AbsL(map::NET_DTR)
+}
+
+/// Convenience: absolute EA of the network receive register.
+pub fn drr_ea() -> pasm_isa::Ea {
+    pasm_isa::Ea::AbsL(map::NET_DRR)
+}
+
+/// Convenience: absolute EA of the network status register.
+pub fn status_ea() -> pasm_isa::Ea {
+    pasm_isa::Ea::AbsL(map::NET_STATUS)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,465 @@
+use super::*;
+use crate::config::{MachineConfig, ReleaseMode};
+use pasm_isa::asm::assemble;
+use pasm_isa::{DataReg, Ea, ProgramBuilder, Size};
+
+fn small_machine() -> Machine {
+    Machine::new(MachineConfig::small())
+}
+
+fn halting(src: &str) -> Program {
+    assemble(src).expect("assembly")
+}
+
+#[test]
+fn mimd_single_pe_runs_and_halts() {
+    let mut m = small_machine();
+    m.load_pe_program(
+        0,
+        halting(
+            "
+            MOVEQ   #0,D0
+            MOVE.W  #9,D1
+        top: ADDQ.W  #2,D0
+            DBRA    D1,top
+            HALT
+        ",
+        ),
+    );
+    m.start_pe(0, 0);
+    let r = m.run().unwrap();
+    assert_eq!(m.pe_cpu(0).d[0] & 0xFFFF, 20);
+    assert!(r.makespan > 0);
+    assert_eq!(r.pe[0].finished_at, r.makespan);
+    assert!(r.pe[0].instrs >= 22);
+}
+
+#[test]
+fn mimd_charges_dram_waits() {
+    // The same straight-line code must take longer on DRAM (MIMD fetch) than
+    // the core tables alone: wait states + occasional refresh.
+    let mut m = small_machine();
+    m.load_pe_program(
+        0,
+        halting(
+            "
+            NOP
+            NOP
+            NOP
+            NOP
+            HALT
+        ",
+        ),
+    );
+    m.start_pe(0, 0);
+    let r = m.run().unwrap();
+    // 5 instructions, 4 core cycles each = 20 core cycles; each is 1 word
+    // fetched from DRAM at +1 wait state = +5, plus a possible refresh hit.
+    assert!(r.makespan >= 25, "got {}", r.makespan);
+    assert!(r.pe[0].fetch_wait_cycles >= 5);
+}
+
+/// Build the canonical SIMD test pair: PE bootstrap + MC broadcast program.
+/// The MC broadcasts `block_body` once, then returns the PEs to MIMD (Halt).
+fn simd_pair(block_body: &[Instr]) -> (Program, Program) {
+    // PE program: 0: JMPSIMD, 1: HALT
+    let mut pe = ProgramBuilder::new();
+    pe.emit(Instr::JmpSimd);
+    pe.emit(Instr::Halt);
+    let pe = pe.build().unwrap();
+
+    let mut mc = ProgramBuilder::new();
+    let b0 = mc.begin_block();
+    for &i in block_body {
+        mc.emit(i);
+    }
+    mc.emit(Instr::JmpMimd { target: 1 });
+    mc.end_block();
+    mc.emit(Instr::SetMask { mask: 0xFFFF });
+    mc.emit(Instr::StartPes);
+    mc.emit(Instr::Enqueue { block: b0.0 });
+    mc.emit(Instr::Halt);
+    let mc = mc.build().unwrap();
+    (pe, mc)
+}
+
+#[test]
+fn simd_broadcast_reaches_all_pes() {
+    let mut m = small_machine();
+    let (pe, mc) = simd_pair(&[
+        Instr::Moveq { value: 7, dst: DataReg::D0 },
+        Instr::Add { size: Size::Word, src: Ea::D(DataReg::D0), dst: DataReg::D0 },
+    ]);
+    for i in 0..4 {
+        m.load_pe_program(i, pe.clone());
+    }
+    m.load_mc_program(0, mc);
+    let r = m.run().unwrap();
+    for i in 0..4 {
+        assert_eq!(m.pe_cpu(i).d[0] & 0xFFFF, 14, "PE {i}");
+    }
+    assert!(r.fu[0].entries >= 3);
+    assert!(r.pe_makespan > 0);
+}
+
+#[test]
+fn simd_lockstep_costs_the_max_multiply() {
+    // Each PE multiplies by a different value; under the lockstep release each
+    // broadcast multiply costs the max across PEs, so total SIMD time must
+    // exceed the decoupled (ablation) time.
+    let body = [
+        // D1 preloaded per-PE below; MULU D1,D0 repeated.
+        Instr::Mulu { src: Ea::D(DataReg::D1), dst: DataReg::D0 },
+        Instr::Mulu { src: Ea::D(DataReg::D1), dst: DataReg::D0 },
+        Instr::Mulu { src: Ea::D(DataReg::D1), dst: DataReg::D0 },
+        Instr::Mulu { src: Ea::D(DataReg::D1), dst: DataReg::D0 },
+    ];
+    let run_with = |mode: ReleaseMode| {
+        let cfg = MachineConfig { release_mode: mode, ..MachineConfig::small() };
+        let mut m = Machine::new(cfg);
+        let (pe, mc) = simd_pair(&body);
+        for i in 0..4 {
+            m.load_pe_program(i, pe.clone());
+            // PE 0 has the heaviest multiplier (16 ones), others the lightest.
+            m.pe_cpu_mut(i).d[1] = if i == 0 { 0xFFFF } else { 0 };
+            m.pe_cpu_mut(i).d[0] = 1;
+        }
+        m.load_mc_program(0, mc);
+        m.run().unwrap()
+    };
+    let lockstep = run_with(ReleaseMode::Lockstep);
+    let decoupled = run_with(ReleaseMode::Decoupled);
+    // PE 3 (a light PE) pays PE 0's multiply time only under lockstep.
+    assert!(
+        lockstep.pe[3].simd_wait_cycles > decoupled.pe[3].simd_wait_cycles,
+        "lockstep {} vs decoupled {}",
+        lockstep.pe[3].simd_wait_cycles,
+        decoupled.pe[3].simd_wait_cycles
+    );
+    assert!(lockstep.pe_makespan >= decoupled.pe_makespan);
+}
+
+#[test]
+fn barrier_synchronizes_mimd_pes() {
+    // Two PEs with very different work lengths hit a BARRIER; both must leave
+    // it at the same time (the release), and the fast one records the wait.
+    let cfg = MachineConfig { n_pes: 4, n_mcs: 1, ..MachineConfig::small() };
+    let mut m = Machine::new(cfg);
+    let slow = halting(
+        "
+        MOVE.W  #199,D1
+    t:  NOP
+        DBRA    D1,t
+        BARRIER
+        HALT
+    ",
+    );
+    let fast = halting(
+        "
+        BARRIER
+        HALT
+    ",
+    );
+    m.load_pe_program(0, slow);
+    for i in 1..4 {
+        m.load_pe_program(i, fast.clone());
+    }
+    let mut mc = ProgramBuilder::new();
+    mc.emit(Instr::SetMask { mask: 0xFFFF });
+    mc.emit(Instr::EnqueueWords { count: 1 });
+    mc.emit(Instr::StartPes);
+    mc.emit(Instr::Halt);
+    m.load_mc_program(0, mc.build().unwrap());
+    let r = m.run().unwrap();
+    // All PEs finish within one HALT of each other.
+    let finish: Vec<u64> = r.pe.iter().take(4).map(|t| t.finished_at).collect();
+    let spread = finish.iter().max().unwrap() - finish.iter().min().unwrap();
+    assert!(spread <= 16, "finish spread {spread} too large: {finish:?}");
+    assert!(r.pe[1].simd_wait_cycles > 1000, "fast PE waited {}", r.pe[1].simd_wait_cycles);
+}
+
+#[test]
+fn network_transfer_with_polling() {
+    // PE0 sends a byte; PE1 polls the status register then reads it (the MIMD
+    // protocol of paper §5.2).
+    let mut m = small_machine();
+    m.connect(0, 1).unwrap();
+    m.load_pe_program(
+        0,
+        halting(
+            "
+            MOVE.B  #$5A,$00E00000.L   ; DTR
+            HALT
+        ",
+        ),
+    );
+    m.load_pe_program(
+        1,
+        halting(
+            "
+        poll: MOVE.B  $00E00004.L,D1   ; status
+            AND.W   #2,D1              ; rx valid?
+            BEQ     poll
+            MOVE.B  $00E00002.L,D0     ; DRR
+            HALT
+        ",
+        ),
+    );
+    m.start_pe(0, 0);
+    m.start_pe(1, 0);
+    let r = m.run().unwrap();
+    assert_eq!(m.pe_cpu(1).d[0] & 0xFF, 0x5A);
+    assert!(r.pe[1].instrs >= 5);
+}
+
+#[test]
+fn network_blocked_read_wakes_on_send() {
+    // PE1 reads DRR directly (blocking) before PE0 has sent: the machine must
+    // park it and wake it when the byte arrives.
+    let mut m = small_machine();
+    m.connect(0, 1).unwrap();
+    m.load_pe_program(
+        0,
+        halting(
+            "
+            MOVE.W  #99,D7
+        t:  NOP
+            DBRA    D7,t
+            MOVE.B  #$42,$00E00000.L
+            HALT
+        ",
+        ),
+    );
+    m.load_pe_program(
+        1,
+        halting(
+            "
+            MOVE.B  $00E00002.L,D0
+            HALT
+        ",
+        ),
+    );
+    m.start_pe(0, 0);
+    m.start_pe(1, 0);
+    let r = m.run().unwrap();
+    assert_eq!(m.pe_cpu(1).d[0] & 0xFF, 0x42);
+    assert!(r.pe[1].net_rx_stall_cycles > 500, "stall {}", r.pe[1].net_rx_stall_cycles);
+}
+
+#[test]
+fn network_tx_backpressure() {
+    // PE0 fires two bytes back-to-back; the second write must stall until PE1
+    // consumes the first.
+    let mut m = small_machine();
+    m.connect(0, 1).unwrap();
+    m.load_pe_program(
+        0,
+        halting(
+            "
+            MOVE.B  #1,$00E00000.L
+            MOVE.B  #2,$00E00000.L
+            HALT
+        ",
+        ),
+    );
+    m.load_pe_program(
+        1,
+        halting(
+            "
+            MOVE.W  #49,D7
+        t:  NOP
+            DBRA    D7,t
+            MOVE.B  $00E00002.L,D0
+            MOVE.B  $00E00002.L,D1
+            HALT
+        ",
+        ),
+    );
+    m.start_pe(0, 0);
+    m.start_pe(1, 0);
+    let r = m.run().unwrap();
+    assert_eq!(m.pe_cpu(1).d[0] & 0xFF, 1);
+    assert_eq!(m.pe_cpu(1).d[1] & 0xFF, 2);
+    assert!(r.pe[0].net_tx_stall_cycles > 100, "stall {}", r.pe[0].net_tx_stall_cycles);
+}
+
+#[test]
+fn timer_reads_advance() {
+    let mut m = small_machine();
+    m.load_pe_program(
+        0,
+        halting(
+            "
+            MOVE.L  $00D00000.L,D0
+            NOP
+            NOP
+            MOVE.L  $00D00000.L,D1
+            HALT
+        ",
+        ),
+    );
+    m.start_pe(0, 0);
+    m.run().unwrap();
+    let t0 = m.pe_cpu(0).d[0];
+    let t1 = m.pe_cpu(0).d[1];
+    assert!(t1 > t0, "timer must advance: {t0} -> {t1}");
+}
+
+#[test]
+fn deadlock_is_reported() {
+    let mut m = small_machine();
+    // Blocking receive with nobody sending.
+    m.connect(0, 1).unwrap();
+    m.load_pe_program(1, halting("MOVE.B $00E00002.L,D0\nHALT\n"));
+    m.start_pe(1, 0);
+    match m.run() {
+        Err(RunError::Deadlock(s)) => assert!(s.contains("PE1"), "{s}"),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn cycle_limit_is_enforced() {
+    let cfg = MachineConfig { max_cycles: 10_000, ..MachineConfig::small() };
+    let mut m = Machine::new(cfg);
+    m.load_pe_program(0, halting("t: BRA t\nHALT\n"));
+    m.start_pe(0, 0);
+    assert_eq!(m.run().unwrap_err(), RunError::CycleLimit(10_000));
+}
+
+#[test]
+fn phase_marks_accumulate_on_pes() {
+    let mut m = small_machine();
+    m.load_pe_program(
+        0,
+        halting(
+            "
+            MARKB   #1
+            MOVE.W  #9,D1
+        t:  MULU    D1,D0
+            DBRA    D1,t
+            MARKE   #1
+            HALT
+        ",
+        ),
+    );
+    m.start_pe(0, 0);
+    let r = m.run().unwrap();
+    assert!(r.pe[0].phase_cycles[1] > 100);
+    assert_eq!(r.phase_max(1), r.pe[0].phase_cycles[1]);
+    assert!(r.pe[0].mul_count == 10);
+}
+
+#[test]
+fn group_mapping_is_mod_q() {
+    let m = Machine::new(MachineConfig::prototype());
+    assert_eq!(m.mc_of_pe(0), 0);
+    assert_eq!(m.mc_of_pe(5), 1);
+    assert_eq!(m.mc_of_pe(15), 3);
+    assert_eq!(m.group_pes(0), vec![0, 4, 8, 12]);
+    assert_eq!(m.group_bit(12), 3);
+}
+
+#[test]
+fn mask_disables_pes_for_selected_broadcasts() {
+    // Broadcast one block to all PEs, then one only to PEs 0 and 2; disabled
+    // PEs wait through the masked instructions and resume on the next
+    // instruction that enables them (paper §3).
+    let mut m = small_machine();
+    let mut pe = ProgramBuilder::new();
+    pe.emit(Instr::JmpSimd);
+    pe.emit(Instr::Halt);
+    let pe = pe.build().unwrap();
+    let mut mc = ProgramBuilder::new();
+    let all = mc.begin_block();
+    mc.emit(Instr::Moveq { value: 1, dst: DataReg::D0 });
+    mc.end_block();
+    let some = mc.begin_block();
+    mc.emit(Instr::Addq { size: Size::Word, value: 7, dst: Ea::D(DataReg::D0) });
+    mc.end_block();
+    let done = mc.begin_block();
+    mc.emit(Instr::JmpMimd { target: 1 });
+    mc.end_block();
+    mc.emit(Instr::SetMask { mask: 0xFFFF });
+    mc.emit(Instr::StartPes);
+    mc.emit(Instr::Enqueue { block: all.0 });
+    mc.emit(Instr::SetMask { mask: 0b0101 });
+    mc.emit(Instr::Enqueue { block: some.0 });
+    mc.emit(Instr::SetMask { mask: 0xFFFF });
+    mc.emit(Instr::Enqueue { block: done.0 });
+    mc.emit(Instr::Halt);
+    let mc = mc.build().unwrap();
+    for i in 0..4 {
+        m.load_pe_program(i, pe.clone());
+    }
+    m.load_mc_program(0, mc);
+    m.run().unwrap();
+    for i in 0..4 {
+        let expect = if i % 2 == 0 { 8 } else { 1 };
+        assert_eq!(m.pe_cpu(i).d[0] & 0xFFFF, expect, "PE {i}");
+    }
+}
+
+#[test]
+fn fully_masked_entry_drains_without_effect() {
+    let mut m = small_machine();
+    let mut pe = ProgramBuilder::new();
+    pe.emit(Instr::JmpSimd);
+    pe.emit(Instr::Halt);
+    let pe = pe.build().unwrap();
+    let mut mc = ProgramBuilder::new();
+    let nobody = mc.begin_block();
+    mc.emit(Instr::Moveq { value: 99, dst: DataReg::D0 });
+    mc.end_block();
+    let done = mc.begin_block();
+    mc.emit(Instr::JmpMimd { target: 1 });
+    mc.end_block();
+    mc.emit(Instr::StartPes);
+    mc.emit(Instr::SetMask { mask: 0 });
+    mc.emit(Instr::Enqueue { block: nobody.0 });
+    mc.emit(Instr::SetMask { mask: 0xFFFF });
+    mc.emit(Instr::Enqueue { block: done.0 });
+    mc.emit(Instr::Halt);
+    m.load_mc_program(0, mc.build().unwrap());
+    for i in 0..4 {
+        m.load_pe_program(i, pe.clone());
+    }
+    m.run().unwrap();
+    for i in 0..4 {
+        assert_eq!(m.pe_cpu(i).d[0], 0, "PE {i} must never see the masked-out block");
+    }
+}
+
+#[test]
+fn queue_empty_stall_counted_when_mc_is_slow() {
+    // MC dawdles between broadcasts => PEs wait on an empty queue.
+    let mut m = small_machine();
+    let mut pe = ProgramBuilder::new();
+    pe.emit(Instr::JmpSimd);
+    pe.emit(Instr::Halt);
+    let pe = pe.build().unwrap();
+    let mut mc = ProgramBuilder::new();
+    let b0 = mc.begin_block();
+    mc.emit(Instr::Nop);
+    mc.end_block();
+    let b1 = mc.begin_block();
+    mc.emit(Instr::JmpMimd { target: 1 });
+    mc.end_block();
+    mc.emit(Instr::SetMask { mask: 0xFFFF });
+    mc.emit(Instr::StartPes);
+    mc.emit(Instr::Enqueue { block: b0.0 });
+    // Busy-wait on the MC before the next broadcast.
+    mc.emit(Instr::Move { size: Size::Word, src: Ea::Imm(200), dst: Ea::D(DataReg::D1) });
+    let l = mc.here("spin");
+    mc.emit(Instr::Nop);
+    mc.branch(Instr::Dbra { dst: DataReg::D1, target: 0 }, l);
+    mc.emit(Instr::Enqueue { block: b1.0 });
+    mc.emit(Instr::Halt);
+    let mc = mc.build().unwrap();
+    for i in 0..4 {
+        m.load_pe_program(i, pe.clone());
+    }
+    m.load_mc_program(0, mc);
+    let r = m.run().unwrap();
+    assert!(r.fu[0].empty_stall_cycles > 1000, "empty stall {}", r.fu[0].empty_stall_cycles);
+}

@@ -1,0 +1,27 @@
+//! # pasm-mem — memory subsystem of the PASM prototype simulator
+//!
+//! The paper attributes the raw SIMD-over-MIMD instruction-rate advantage
+//! (its Table 1) to two memory-system properties of the prototype:
+//!
+//! 1. the Fetch Unit queue "can deliver data with one less wait state than can
+//!    the PEs' main memories", because the queue is built from **static RAM**
+//!    while PE main memory is **dynamic RAM**, and
+//! 2. DRAM **refresh** can still delay a PE access even though refresh cycles
+//!    are synchronized across all PEs and largely hidden.
+//!
+//! This crate provides those pieces:
+//!
+//! * [`Memory`] — big-endian byte-addressable storage (the MC68000 is
+//!   big-endian; matrices are stored as 16-bit words at even addresses),
+//! * [`MemTiming`] — wait-state and refresh timing parameters plus the delay
+//!   calculators the machine simulator charges per 16-bit bus access,
+//! * [`map`] — the PE address map: main memory, the reserved *SIMD instruction
+//!   space*, the network transfer registers, and the timer.
+
+pub mod map;
+pub mod memory;
+pub mod timing;
+
+pub use map::{MemMap, NetReg, Region};
+pub use memory::Memory;
+pub use timing::MemTiming;

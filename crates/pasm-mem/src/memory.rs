@@ -1,0 +1,180 @@
+//! Big-endian byte storage for PE and MC memories.
+
+use serde::{Deserialize, Serialize};
+
+/// A flat, zero-initialized, big-endian memory.
+///
+/// Addresses are byte addresses; word/long accesses must be even-aligned, as on
+/// the MC68000 (odd word access raised an address-error trap on the real CPU —
+/// here it panics in debug and is the caller's bug).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocate `size` bytes of zeroed memory.
+    pub fn new(size: usize) -> Self {
+        Memory { bytes: vec![0; size] }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the memory has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    #[inline]
+    fn check(&self, addr: u32, n: u32) {
+        assert!(
+            (addr as usize) + (n as usize) <= self.bytes.len(),
+            "memory access at {:#X}+{} out of bounds ({} bytes)",
+            addr,
+            n,
+            self.bytes.len()
+        );
+    }
+
+    /// Read one byte.
+    #[inline]
+    pub fn read_byte(&self, addr: u32) -> u8 {
+        self.check(addr, 1);
+        self.bytes[addr as usize]
+    }
+
+    /// Write one byte.
+    #[inline]
+    pub fn write_byte(&mut self, addr: u32, v: u8) {
+        self.check(addr, 1);
+        self.bytes[addr as usize] = v;
+    }
+
+    /// Read a big-endian 16-bit word from an even address.
+    #[inline]
+    pub fn read_word(&self, addr: u32) -> u16 {
+        debug_assert!(addr.is_multiple_of(2), "odd word read at {addr:#X}");
+        self.check(addr, 2);
+        let a = addr as usize;
+        u16::from_be_bytes([self.bytes[a], self.bytes[a + 1]])
+    }
+
+    /// Write a big-endian 16-bit word to an even address.
+    #[inline]
+    pub fn write_word(&mut self, addr: u32, v: u16) {
+        debug_assert!(addr.is_multiple_of(2), "odd word write at {addr:#X}");
+        self.check(addr, 2);
+        let a = addr as usize;
+        self.bytes[a..a + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Read a big-endian 32-bit long word from an even address.
+    #[inline]
+    pub fn read_long(&self, addr: u32) -> u32 {
+        debug_assert!(addr.is_multiple_of(2), "odd long read at {addr:#X}");
+        self.check(addr, 4);
+        let a = addr as usize;
+        u32::from_be_bytes([self.bytes[a], self.bytes[a + 1], self.bytes[a + 2], self.bytes[a + 3]])
+    }
+
+    /// Write a big-endian 32-bit long word to an even address.
+    #[inline]
+    pub fn write_long(&mut self, addr: u32, v: u32) {
+        debug_assert!(addr.is_multiple_of(2), "odd long write at {addr:#X}");
+        self.check(addr, 4);
+        let a = addr as usize;
+        self.bytes[a..a + 4].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Read a value of `size` bytes (1, 2, or 4) zero-extended to 32 bits.
+    pub fn read(&self, addr: u32, size: Size) -> u32 {
+        match size {
+            Size::Byte => self.read_byte(addr) as u32,
+            Size::Word => self.read_word(addr) as u32,
+            Size::Long => self.read_long(addr),
+        }
+    }
+
+    /// Write the low `size` bytes of `v`.
+    pub fn write(&mut self, addr: u32, v: u32, size: Size) {
+        match size {
+            Size::Byte => self.write_byte(addr, v as u8),
+            Size::Word => self.write_word(addr, v as u16),
+            Size::Long => self.write_long(addr, v),
+        }
+    }
+
+    /// Bulk-load 16-bit words starting at `addr` (test/workload setup helper).
+    pub fn load_words(&mut self, addr: u32, words: &[u16]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write_word(addr + 2 * i as u32, *w);
+        }
+    }
+
+    /// Bulk-read `count` 16-bit words starting at `addr`.
+    pub fn dump_words(&self, addr: u32, count: usize) -> Vec<u16> {
+        (0..count).map(|i| self.read_word(addr + 2 * i as u32)).collect()
+    }
+
+    /// Zero a byte range.
+    pub fn clear_range(&mut self, addr: u32, len: u32) {
+        self.check(addr, len);
+        self.bytes[addr as usize..(addr + len) as usize].fill(0);
+    }
+}
+
+pub use pasm_isa::Size;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_layout() {
+        let mut m = Memory::new(16);
+        m.write_word(0, 0x1234);
+        assert_eq!(m.read_byte(0), 0x12);
+        assert_eq!(m.read_byte(1), 0x34);
+        m.write_long(4, 0xDEADBEEF);
+        assert_eq!(m.read_word(4), 0xDEAD);
+        assert_eq!(m.read_word(6), 0xBEEF);
+        assert_eq!(m.read_long(4), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn sized_access() {
+        let mut m = Memory::new(8);
+        m.write(0, 0xAABBCCDD, Size::Long);
+        assert_eq!(m.read(0, Size::Byte), 0xAA);
+        assert_eq!(m.read(0, Size::Word), 0xAABB);
+        assert_eq!(m.read(0, Size::Long), 0xAABBCCDD);
+        m.write(2, 0x11, Size::Byte);
+        assert_eq!(m.read(0, Size::Long), 0xAABB11DD);
+    }
+
+    #[test]
+    fn bulk_words_roundtrip() {
+        let mut m = Memory::new(64);
+        let data = [1u16, 2, 3, 0xFFFF];
+        m.load_words(8, &data);
+        assert_eq!(m.dump_words(8, 4), data);
+        m.clear_range(8, 8);
+        assert_eq!(m.dump_words(8, 4), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let m = Memory::new(4);
+        m.read_long(2);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Memory::new(128).len(), 128);
+        assert!(Memory::new(0).is_empty());
+    }
+}

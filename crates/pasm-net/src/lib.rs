@@ -1,0 +1,32 @@
+//! # pasm-net — the Extra-Stage Cube interconnection network
+//!
+//! The PASM prototype's PEs communicate through a **circuit-switched
+//! Extra-Stage Cube (ESC) network**, a fault-tolerant variant of the
+//! multistage Generalized Cube network (Adams & Siegel). For N = 2^m PEs the
+//! network has m stages of 2×2 interchange boxes plus one *extra* stage that
+//! repeats the cube₀ interconnection; the extra stage and the output (cube₀)
+//! stage each carry bypass multiplexers so either can be switched out of the
+//! data path. With both cube₀ stages enabled there are exactly two disjoint
+//! box-sets between any source and destination, so any single interior box
+//! fault can be routed around.
+//!
+//! The experiments of the paper use the network in its simplest mode: a single
+//! static circuit per PE implementing the ring `PE i → PE (i−1) mod p` (the
+//! columns of the A matrix rotate left). Path set-up is "a time consuming
+//! operation" but happens once; after that each 8-bit word crosses the
+//! established circuit. This crate supplies:
+//!
+//! * [`topology`] — stage/box index arithmetic of the generalized cube,
+//! * [`network::EscNetwork`] — stage enables, fault injection, destination-tag
+//!   routing with the two-path ESC choice, and circuit-switched conflict
+//!   accounting (claim/release of boxes in straight or exchange mode),
+//! * [`network::ring_circuits`] — establishing the matmul ring permutation.
+//!
+//! Timing (set-up cycles, per-byte transfer cycles, handshake polling) is the
+//! machine simulator's concern; this crate is purely structural.
+
+pub mod network;
+pub mod topology;
+
+pub use network::{ring_circuits, BoxMode, CircuitId, EscNetwork, Hop, NetError, Path};
+pub use topology::{box_index, box_port, peer_line, Stage};

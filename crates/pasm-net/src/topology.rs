@@ -1,0 +1,113 @@
+//! Index arithmetic of the generalized-cube / extra-stage-cube topology.
+//!
+//! Lines (links) between stages are numbered `0..N`. A stage implementing the
+//! *cube_b* interconnection routes line `l` and line `l ⊕ 2^b` into the same
+//! 2×2 interchange box; the box can pass them *straight* or *exchanged*.
+
+use serde::{Deserialize, Serialize};
+
+/// A stage of the ESC network, identified by position from the input side.
+///
+/// For an N = 2^m network the stages are:
+/// position 0 — the **extra** stage (cube₀, bypassable);
+/// positions 1..=m — cube_{m−1} … cube₀, with the last (cube₀, the output
+/// stage) also bypassable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Stage {
+    /// Position from the input, 0 = extra stage.
+    pub position: u32,
+    /// Which address bit this stage's boxes exchange.
+    pub bit: u32,
+}
+
+impl Stage {
+    /// The full stage list for an N = 2^m network.
+    pub fn all(m: u32) -> Vec<Stage> {
+        let mut v = Vec::with_capacity(m as usize + 1);
+        v.push(Stage { position: 0, bit: 0 }); // extra stage repeats cube_0
+        for s in 1..=m {
+            v.push(Stage { position: s, bit: m - s });
+        }
+        v
+    }
+
+    /// True for the two bypassable cube₀ stages (the extra and output stages).
+    pub fn is_bypassable(self, m: u32) -> bool {
+        self.position == 0 || self.position == m
+    }
+}
+
+/// The line paired with `line` at a stage exchanging `bit`.
+#[inline]
+pub fn peer_line(line: usize, bit: u32) -> usize {
+    line ^ (1 << bit)
+}
+
+/// Box index (0..N/2) holding `line` at a stage exchanging `bit`: the line
+/// number with bit `bit` squeezed out.
+#[inline]
+pub fn box_index(line: usize, bit: u32) -> usize {
+    let low_mask = (1usize << bit) - 1;
+    ((line >> (bit + 1)) << bit) | (line & low_mask)
+}
+
+/// Which box input port (0 = upper, 1 = lower) `line` occupies at a stage
+/// exchanging `bit`.
+#[inline]
+pub fn box_port(line: usize, bit: u32) -> usize {
+    (line >> bit) & 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_list_for_16_pes() {
+        // The prototype: N = 16 => m = 4 => 5 stages of 8 boxes.
+        let stages = Stage::all(4);
+        assert_eq!(stages.len(), 5);
+        assert_eq!(stages[0], Stage { position: 0, bit: 0 });
+        assert_eq!(stages[1], Stage { position: 1, bit: 3 });
+        assert_eq!(stages[4], Stage { position: 4, bit: 0 });
+        assert!(stages[0].is_bypassable(4));
+        assert!(stages[4].is_bypassable(4));
+        assert!(!stages[2].is_bypassable(4));
+    }
+
+    #[test]
+    fn peers_are_symmetric() {
+        for bit in 0..4 {
+            for line in 0..16 {
+                let p = peer_line(line, bit);
+                assert_ne!(p, line);
+                assert_eq!(peer_line(p, bit), line);
+                // Peers share a box and take different ports.
+                assert_eq!(box_index(line, bit), box_index(p, bit));
+                assert_ne!(box_port(line, bit), box_port(p, bit));
+            }
+        }
+    }
+
+    #[test]
+    fn box_indices_cover_half_the_lines() {
+        use std::collections::HashSet;
+        for bit in 0..4u32 {
+            let set: HashSet<usize> = (0..16).map(|l| box_index(l, bit)).collect();
+            assert_eq!(set.len(), 8, "bit {bit}");
+            assert!(set.iter().all(|&b| b < 8));
+        }
+    }
+
+    #[test]
+    fn box_index_examples() {
+        // bit 0: lines 2k and 2k+1 share box k.
+        assert_eq!(box_index(6, 0), 3);
+        assert_eq!(box_index(7, 0), 3);
+        // bit 3 (m=4): lines l and l+8 share a box indexed by low 3 bits.
+        assert_eq!(box_index(5, 3), 5);
+        assert_eq!(box_index(13, 3), 5);
+        assert_eq!(box_port(13, 3), 1);
+        assert_eq!(box_port(5, 3), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Shared code-generation conventions for the experiment programs.
+//!
+//! Register allocation (identical in every matmul variant, so the variants
+//! differ *only* in control placement and synchronization — the quantities
+//! under study):
+//!
+//! | reg | role |
+//! |-----|------|
+//! | A0  | A-column element walker |
+//! | A1  | C element walker |
+//! | A2  | B element walker (stride 4n+2 per internal column) |
+//! | A3  | TT table walker |
+//! | A4  | TT base |
+//! | A5  | B row-start pointer (advances 2 bytes per rotation step) |
+//! | A6  | C base |
+//! | D0  | product scratch |
+//! | D1  | the multiplier `bval` (the data-dependent-timing operand) |
+//! | D2  | middle loop counter |
+//! | D3  | scratch destination of the *added* multiplies |
+//! | D4  | transfer word out |
+//! | D5  | transfer word in (low byte, then the assembled word) |
+//! | D6  | transfer high byte / poll scratch / inner counter |
+//! | D7  | outer (rotation-step) counter |
+
+use pasm_isa::{AddrReg, Cond, DataReg, Ea, Instr, ShiftCount, ShiftKind, Size};
+
+/// Phase id of the multiplication section (Figures 8–10 breakdown).
+pub const PHASE_MUL: u8 = 1;
+/// Phase id of the communication section.
+pub const PHASE_COMM: u8 = 2;
+
+pub const A_PTR: AddrReg = AddrReg::A0;
+pub const C_PTR: AddrReg = AddrReg::A1;
+pub const B_PTR: AddrReg = AddrReg::A2;
+pub const TT_PTR: AddrReg = AddrReg::A3;
+pub const TT_BASE_R: AddrReg = AddrReg::A4;
+pub const B_ROW: AddrReg = AddrReg::A5;
+pub const C_BASE_R: AddrReg = AddrReg::A6;
+
+pub const PROD: DataReg = DataReg::D0;
+pub const BVAL: DataReg = DataReg::D1;
+pub const CNT_MID: DataReg = DataReg::D2;
+pub const MUL_SCRATCH: DataReg = DataReg::D3;
+pub const XFER_OUT: DataReg = DataReg::D4;
+pub const XFER_IN: DataReg = DataReg::D5;
+pub const XFER_HI: DataReg = DataReg::D6;
+pub const CNT_OUT: DataReg = DataReg::D7;
+
+/// `MOVE.W #imm,Dn` (word immediate loop-count setup).
+pub fn movei_w(v: u32, dst: DataReg) -> Instr {
+    Instr::Move { size: Size::Word, src: Ea::Imm(v), dst: Ea::D(dst) }
+}
+
+/// `MOVEA.L #addr,An`.
+pub fn lea_abs(addr: u32, dst: AddrReg) -> Instr {
+    Instr::Movea { size: Size::Long, src: Ea::Imm(addr), dst }
+}
+
+/// `MOVEA.L Asrc,Adst` (pointer copy).
+pub fn movea_a(src: AddrReg, dst: AddrReg) -> Instr {
+    Instr::Movea { size: Size::Long, src: Ea::A(src), dst }
+}
+
+/// The inner-loop body: load an A element, multiply by `bval`, add into C,
+/// plus `extra` straight-line multiplies that exercise data-dependent timing
+/// without touching the result (paper §6: "added as straight line code in
+/// order to prevent skewing of execution time data due to control flow
+/// overlap ... and did not affect the values in the C matrix").
+pub fn inner_body(extra: usize) -> Vec<Instr> {
+    let mut v = Vec::with_capacity(3 + extra);
+    v.push(Instr::Move { size: Size::Word, src: Ea::PostInc(A_PTR), dst: Ea::D(PROD) });
+    v.push(Instr::Mulu { src: Ea::D(BVAL), dst: PROD });
+    for _ in 0..extra {
+        v.push(Instr::Mulu { src: Ea::D(BVAL), dst: MUL_SCRATCH });
+    }
+    v.push(Instr::AddTo { size: Size::Word, src: PROD, dst: Ea::PostInc(C_PTR) });
+    v
+}
+
+/// Per-internal-column setup: next A-column pointer from TT, load `bval`,
+/// advance the B walker by one doubled column plus one row (4n + 2 bytes).
+pub fn v_setup(n: usize) -> Vec<Instr> {
+    vec![
+        Instr::Movea { size: Size::Long, src: Ea::PostInc(TT_PTR), dst: A_PTR },
+        Instr::Move { size: Size::Word, src: Ea::Ind(B_PTR), dst: Ea::D(BVAL) },
+        Instr::Adda { size: Size::Word, src: Ea::Imm(4 * n as u32 + 2), dst: B_PTR },
+    ]
+}
+
+/// Per-rotation-step setup: reset the three walkers from their bases.
+pub fn j_setup() -> Vec<Instr> {
+    vec![movea_a(TT_BASE_R, TT_PTR), movea_a(C_BASE_R, C_PTR), movea_a(B_ROW, B_PTR)]
+}
+
+/// One element of the 16-bit-over-8-bit column transfer (paper §4: two shift
+/// operations, an OR, and two network operations per element). `polls` inserts
+/// the MIMD status-polling handshake before every network operation; without
+/// it the sequence relies on synchronized execution (SIMD / S-MIMD).
+///
+/// Reads the outgoing element at `(A0)`, writes the incoming element back to
+/// the same slot, and advances `A0`.
+pub fn xfer_element(polls: bool, out: &mut ProgSink<'_>) {
+    out.emit(Instr::Move { size: Size::Word, src: Ea::Ind(A_PTR), dst: Ea::D(XFER_OUT) });
+    // The received low byte lands in D5 with MOVE.B, which merges only the low
+    // byte — clear the word first or the previous element's high byte survives
+    // the OR.
+    out.emit(Instr::Clr { size: Size::Word, dst: Ea::D(XFER_IN) });
+    if polls {
+        emit_poll(out, 1); // transmitter ready
+    }
+    out.emit(Instr::Move {
+        size: Size::Byte,
+        src: Ea::D(XFER_OUT),
+        dst: pasm_machine::dtr_ea(),
+    });
+    if polls {
+        emit_poll(out, 2); // receive valid
+    }
+    out.emit(Instr::Move {
+        size: Size::Byte,
+        src: pasm_machine::drr_ea(),
+        dst: Ea::D(XFER_IN),
+    });
+    out.emit(Instr::Shift {
+        kind: ShiftKind::Lsr,
+        size: Size::Word,
+        count: ShiftCount::Imm(8),
+        dst: XFER_OUT,
+    });
+    if polls {
+        emit_poll(out, 1);
+    }
+    out.emit(Instr::Move {
+        size: Size::Byte,
+        src: Ea::D(XFER_OUT),
+        dst: pasm_machine::dtr_ea(),
+    });
+    if polls {
+        emit_poll(out, 2);
+    }
+    out.emit(Instr::Move {
+        size: Size::Byte,
+        src: pasm_machine::drr_ea(),
+        dst: Ea::D(XFER_HI),
+    });
+    out.emit(Instr::Shift {
+        kind: ShiftKind::Lsl,
+        size: Size::Word,
+        count: ShiftCount::Imm(8),
+        dst: XFER_HI,
+    });
+    out.emit(Instr::Or { size: Size::Word, src: Ea::D(XFER_HI), dst: XFER_IN });
+    out.emit(Instr::Move { size: Size::Word, src: Ea::D(XFER_IN), dst: Ea::PostInc(A_PTR) });
+}
+
+/// Status-register poll loop: spin until `bit` (1 = tx ready, 2 = rx valid) is
+/// set. This is the MIMD handshake the S/MIMD version replaces with a barrier.
+fn emit_poll(out: &mut ProgSink<'_>, bit: u32) {
+    let top = out.here();
+    out.emit(Instr::Move { size: Size::Byte, src: pasm_machine::status_ea(), dst: Ea::D(XFER_HI) });
+    out.emit(Instr::And { size: Size::Word, src: Ea::Imm(bit), dst: XFER_HI });
+    out.branch_back(Instr::Bcc { cond: Cond::Eq, target: 0 }, top);
+}
+
+/// A thin sink over `ProgramBuilder` that lets shared emitters create local
+/// back-branches without owning the builder.
+pub struct ProgSink<'b> {
+    pub b: &'b mut pasm_isa::ProgramBuilder,
+}
+
+impl ProgSink<'_> {
+    pub fn emit(&mut self, i: Instr) {
+        self.b.emit(i);
+    }
+    pub fn here(&mut self) -> pasm_isa::Label {
+        self.b.here(format!("L{}", self.b.position()))
+    }
+    pub fn branch_back(&mut self, i: Instr, l: pasm_isa::Label) {
+        self.b.branch(i, l);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_body_length_scales_with_extras() {
+        assert_eq!(inner_body(0).len(), 3);
+        assert_eq!(inner_body(14).len(), 17);
+        // All added multiplies target the scratch register, never the product.
+        for i in &inner_body(5)[2..7] {
+            assert_eq!(*i, Instr::Mulu { src: Ea::D(BVAL), dst: MUL_SCRATCH });
+        }
+    }
+
+    #[test]
+    fn xfer_sequence_matches_paper_shape() {
+        // Without polls: 2 network writes, 2 network reads, 2 shifts, 1 OR.
+        let mut b = pasm_isa::ProgramBuilder::new();
+        {
+            let mut s = ProgSink { b: &mut b };
+            xfer_element(false, &mut s);
+        }
+        b.emit(Instr::Halt);
+        let p = b.build().unwrap();
+        let writes = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Move { dst, .. } if *dst == pasm_machine::dtr_ea()))
+            .count();
+        let reads = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Move { src, .. } if *src == pasm_machine::drr_ea()))
+            .count();
+        let shifts = p.instrs.iter().filter(|i| matches!(i, Instr::Shift { .. })).count();
+        let ors = p.instrs.iter().filter(|i| matches!(i, Instr::Or { .. })).count();
+        assert_eq!((writes, reads, shifts, ors), (2, 2, 2, 1));
+    }
+
+    #[test]
+    fn polled_xfer_adds_four_poll_loops() {
+        let mut b = pasm_isa::ProgramBuilder::new();
+        {
+            let mut s = ProgSink { b: &mut b };
+            xfer_element(true, &mut s);
+        }
+        b.emit(Instr::Halt);
+        let p = b.build().unwrap();
+        let polls = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Move { src, .. } if *src == pasm_machine::status_ea()))
+            .count();
+        assert_eq!(polls, 4);
+    }
+}

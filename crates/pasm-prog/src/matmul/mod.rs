@@ -1,0 +1,133 @@
+//! The four implementations of parallel matrix multiplication from the paper:
+//! optimized serial (SISD), pure SIMD, pure MIMD, and the hybrid S/MIMD.
+//!
+//! All four compute `C = A × B` on 16-bit unsigned integers with overflow
+//! ignored, over the columnar layout of [`crate::layout::Layout`]. The three
+//! parallel variants share identical arithmetic code (see
+//! [`crate::codegen`]); they differ *only* in:
+//!
+//! * **where control flow executes** — on the MCs (SIMD) or on the PEs
+//!   (MIMD, S/MIMD),
+//! * **where instructions are fetched from** — the Fetch Unit queue (SIMD) or
+//!   PE main memory (MIMD, S/MIMD),
+//! * **how network transfers are synchronized** — implicit lockstep (SIMD),
+//!   status polling (MIMD), or Fetch-Unit barriers (S/MIMD).
+
+pub mod mimd;
+pub mod serial;
+pub mod simd;
+
+use pasm_machine::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// How the communication section synchronizes (selects MIMD vs S/MIMD).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommSync {
+    /// Poll the network status register before every network operation.
+    Polling,
+    /// One Fetch-Unit barrier per column transfer; network operations are then
+    /// plain moves as in SIMD (paper §5.3).
+    Barrier,
+}
+
+/// Common parameters of a matrix-multiplication run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatmulParams {
+    /// Matrix dimension (the paper uses 4, 8, 16, 64, 128, 256).
+    pub n: usize,
+    /// Number of PEs (4, 8 or 16 on the prototype).
+    pub p: usize,
+    /// Added inner-loop multiplies (the Figure-7 independent variable).
+    pub extra_muls: usize,
+}
+
+impl MatmulParams {
+    pub fn new(n: usize, p: usize) -> Self {
+        MatmulParams { n, p, extra_muls: 0 }
+    }
+
+    pub fn with_extra(mut self, extra: usize) -> Self {
+        self.extra_muls = extra;
+        self
+    }
+}
+
+/// The physical resources a `p`-PE virtual machine occupies on a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualMachine {
+    /// Physical PEs in logical order (logical l = `pes[l]`).
+    pub pes: Vec<usize>,
+    /// MCs involved.
+    pub mcs: Vec<usize>,
+    /// Fetch-Unit mask enabling the participating PEs of each group.
+    pub mask: u16,
+}
+
+/// Choose physical PEs for a `p`-processor virtual machine following PASM's
+/// partitioning (PE i belongs to MC `i mod Q`; a partition uses whole MCs when
+/// possible, otherwise the same low-numbered PEs of MC 0).
+pub fn select_vm(cfg: &MachineConfig, p: usize) -> VirtualMachine {
+    let per_group = cfg.pes_per_mc();
+    let mcs_used = p.div_ceil(per_group);
+    select_vm_on_mcs(cfg, p, &(0..mcs_used).collect::<Vec<_>>())
+}
+
+/// Choose physical PEs for a `p`-processor virtual machine on a *specific* set
+/// of MCs — the PASM partitioning primitive. Distinct MC sets yield disjoint
+/// virtual machines that can run different jobs **simultaneously**; because
+/// partition members agree in their low-order PE-address bits, their network
+/// circuits use the low cube stages only in straight mode and disjoint boxes
+/// in the high stages, so concurrent partitions never conflict in the ESC.
+pub fn select_vm_on_mcs(cfg: &MachineConfig, p: usize, mcs: &[usize]) -> VirtualMachine {
+    assert!(p >= 1 && p <= cfg.n_pes, "p={p} out of range");
+    assert!(p.is_power_of_two(), "p must be a power of two");
+    assert!(!mcs.is_empty() && p.is_multiple_of(mcs.len()), "MC count must divide p");
+    assert!(mcs.iter().all(|&m| m < cfg.n_mcs), "MC id out of range");
+    let per_mc = p / mcs.len();
+    assert!(per_mc <= cfg.pes_per_mc(), "p={p} exceeds the capacity of {} MC(s)", mcs.len());
+    let mut pes = Vec::with_capacity(p);
+    for j in 0..per_mc {
+        for &mc in mcs {
+            pes.push(j * cfg.n_mcs + mc);
+        }
+    }
+    VirtualMachine { pes, mcs: mcs.to_vec(), mask: ((1u32 << per_mc) - 1) as u16 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_selection_matches_pasm_partitioning() {
+        let cfg = MachineConfig::prototype();
+        let vm = select_vm(&cfg, 4);
+        assert_eq!(vm.pes, vec![0, 4, 8, 12]);
+        assert_eq!(vm.mcs, vec![0]);
+        assert_eq!(vm.mask, 0xF);
+
+        let vm = select_vm(&cfg, 8);
+        assert_eq!(vm.pes, vec![0, 1, 4, 5, 8, 9, 12, 13]);
+        assert_eq!(vm.mcs, vec![0, 1]);
+        assert_eq!(vm.mask, 0xF);
+
+        let vm = select_vm(&cfg, 16);
+        assert_eq!(vm.pes.len(), 16);
+        assert_eq!(vm.mcs, vec![0, 1, 2, 3]);
+        assert_eq!(vm.mask, 0xF);
+
+        let vm = select_vm(&cfg, 2);
+        assert_eq!(vm.pes, vec![0, 4]);
+        assert_eq!(vm.mask, 0x3);
+
+        let vm = select_vm(&cfg, 1);
+        assert_eq!(vm.pes, vec![0]);
+        assert_eq!(vm.mask, 0x1);
+    }
+
+    #[test]
+    fn params_builder() {
+        let p = MatmulParams::new(64, 4).with_extra(14);
+        assert_eq!((p.n, p.p, p.extra_muls), (64, 4, 14));
+    }
+}

@@ -1,0 +1,87 @@
+//! The optimized serial (SISD) matrix multiplication.
+//!
+//! The paper's speed-up baseline: a single PE running a straightforward
+//! row-column-order multiply, *without* the columnar rotation machinery (no
+//! TT table, no network, no doubled B storage) — "the serial algorithm used
+//! in the measurements on PASM ... was optimized in order to permit accurate
+//! evaluation of speed-up".
+//!
+//! Loop nest: for every C column, sweep all A columns (saxpy-style), which
+//! walks both A and B fully sequentially through auto-increment addressing.
+
+use crate::codegen::*;
+use crate::layout::{Layout, A_BASE};
+use crate::matmul::MatmulParams;
+use pasm_isa::{Ea, Instr, Program, ProgramBuilder, Size};
+
+/// Build the serial program (runs on one PE; `params.p` is ignored).
+pub fn pe_program(params: MatmulParams) -> Program {
+    let MatmulParams { n, extra_muls, .. } = params;
+    let layout = Layout::serial(n);
+
+    let mut b = ProgramBuilder::new();
+
+    b.emit(lea_abs(layout.c_base(), C_BASE_R));
+    b.emit(lea_abs(layout.b_base(), B_PTR));
+
+    // Clear C (n² words; the count-1 still fits the 16-bit loop counter
+    // because DBRA runs count+1 iterations).
+    b.emit(lea_abs(layout.c_base(), C_PTR));
+    b.emit(movei_w((n * n - 1) as u32, CNT_MID));
+    let clear = b.here("clear");
+    b.emit(Instr::Clr { size: Size::Word, dst: Ea::PostInc(C_PTR) });
+    b.branch(Instr::Dbra { dst: CNT_MID, target: 0 }, clear);
+
+    // c loop over C columns.
+    b.emit(movei_w((n - 1) as u32, CNT_OUT));
+    let cloop = b.here("cloop");
+    b.emit(Instr::Mark { begin: true, phase: PHASE_MUL });
+    b.emit(lea_abs(A_BASE, A_PTR)); // A is swept fully for every C column
+    b.emit(movei_w((n - 1) as u32, CNT_MID));
+    let kloop = b.here("kloop");
+    b.emit(movea_a(C_BASE_R, C_PTR));
+    b.emit(Instr::Move { size: Size::Word, src: Ea::PostInc(B_PTR), dst: Ea::D(BVAL) });
+    b.emit(movei_w((n - 1) as u32, XFER_HI));
+    let lloop = b.here("lloop");
+    b.emit_all(inner_body(extra_muls));
+    b.branch(Instr::Dbra { dst: XFER_HI, target: 0 }, lloop);
+    b.branch(Instr::Dbra { dst: CNT_MID, target: 0 }, kloop);
+    b.emit(Instr::Mark { begin: false, phase: PHASE_MUL });
+    b.emit(Instr::Adda { size: Size::Word, src: Ea::Imm(2 * n as u32), dst: C_BASE_R });
+    b.branch(Instr::Dbra { dst: CNT_OUT, target: 0 }, cloop);
+    b.emit(Instr::Halt);
+
+    b.build().expect("serial program")
+}
+
+/// MC program that merely starts the single PE.
+pub fn mc_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.emit(Instr::StartPes);
+    b.emit(Instr::Halt);
+    b.build().expect("serial MC program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_has_no_network_or_barrier() {
+        let p = pe_program(MatmulParams::new(16, 1));
+        p.validate().unwrap();
+        assert!(!p.instrs.iter().any(|i| matches!(i, Instr::Barrier)));
+        assert!(!p
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Move { dst, .. } if *dst == pasm_machine::dtr_ea())));
+    }
+
+    #[test]
+    fn serial_multiply_count_is_n_cubed() {
+        // Static: 1 (+extras) MULU in the inner body; dynamic count is n³.
+        let p = pe_program(MatmulParams::new(8, 1).with_extra(2));
+        let muls = p.instrs.iter().filter(|i| matches!(i, Instr::Mulu { .. })).count();
+        assert_eq!(muls, 3);
+    }
+}

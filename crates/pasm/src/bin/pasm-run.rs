@@ -1,0 +1,105 @@
+//! `pasm-run` — assemble a program file and run it on one simulated PE.
+//!
+//! A scratch-pad for the MC68000-style assembly dialect and the prototype's
+//! timing model:
+//!
+//! ```sh
+//! cargo run -p pasm --bin pasm-run -- program.s [--listing] [--stats] [--max-cycles N]
+//! ```
+//!
+//! The program runs in MIMD mode on PE 0 of a small machine (so DRAM wait
+//! states and refresh apply, as they would on the prototype). On `HALT` the
+//! tool prints the register file, the condition codes, and the cycle count;
+//! `--stats` adds the static timing analysis of `pasm_isa::analysis`.
+
+use pasm_isa::analysis;
+use pasm_machine::{Machine, MachineConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pasm-run <file.s> [--listing] [--stats] [--max-cycles N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut file = None;
+    let mut listing = false;
+    let mut stats = false;
+    let mut max_cycles = 100_000_000u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--listing" => listing = true,
+            "--stats" => stats = true,
+            "--max-cycles" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_cycles = v,
+                None => return usage(),
+            },
+            _ if file.is_none() && !a.starts_with('-') => file = Some(a),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pasm-run: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match pasm_isa::asm::assemble(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pasm-run: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if listing {
+        print!("{}", program.listing());
+        println!();
+    }
+    if stats {
+        let s = analysis::program_stats(&program);
+        println!(
+            "static: {} instructions ({} words), {} data-dependent-time, {} mul/div, {} control",
+            s.main_instrs, s.main_words, s.variable_time_instrs, s.mul_div_instrs, s.control_instrs
+        );
+        let straight: Vec<pasm_isa::Instr> =
+            program.instrs.iter().copied().filter(|i| !i.is_control_flow()).collect();
+        let b = analysis::block_bounds(&straight);
+        println!("static: straight-line core-cycle bounds {}..{}\n", b.min, b.max);
+    }
+
+    let cfg = MachineConfig { max_cycles, ..MachineConfig::small() };
+    let mut machine = Machine::new(cfg);
+    machine.load_pe_program(0, program);
+    machine.start_pe(0, 0);
+    match machine.run() {
+        Ok(run) => {
+            let cpu = machine.pe_cpu(0);
+            for i in 0..8 {
+                println!(
+                    "D{i} = {:#010X}  {:>10}    A{i} = {:#010X}",
+                    cpu.d[i], cpu.d[i] as i32, cpu.a[i]
+                );
+            }
+            println!("CCR: {}", cpu.ccr);
+            let t = &run.pe[0];
+            println!(
+                "\n{} instructions in {} cycles ({:.3} ms at 8 MHz); {} multiply/divide cycles, {} memory-wait cycles",
+                t.instrs,
+                t.finished_at,
+                pasm_isa::cycles_to_ms(t.finished_at),
+                t.mul_cycles,
+                t.fetch_wait_cycles + t.data_wait_cycles,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pasm-run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

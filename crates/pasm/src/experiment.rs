@@ -1,0 +1,277 @@
+//! End-to-end experiment execution: build a machine, load a matmul variant,
+//! run it, and collect both the numeric result and the timing traces.
+
+use pasm_machine::{Machine, MachineConfig, RunError, RunResult};
+use pasm_prog::matmul::{self, mimd, serial, simd, select_vm, CommSync, MatmulParams};
+use pasm_prog::{Layout, Matrix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four program variants of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Optimized single-PE baseline (SISD).
+    Serial,
+    /// Control flow on the MCs, instructions broadcast through the queue.
+    Simd,
+    /// Everything on the PEs, polled network handshakes.
+    Mimd,
+    /// MIMD computation with Fetch-Unit barrier communication.
+    Smimd,
+}
+
+impl Mode {
+    /// All modes in presentation order.
+    pub const ALL: [Mode; 4] = [Mode::Serial, Mode::Simd, Mode::Mimd, Mode::Smimd];
+
+    /// The parallel modes.
+    pub const PARALLEL: [Mode; 3] = [Mode::Simd, Mode::Mimd, Mode::Smimd];
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::Serial => "SISD",
+            Mode::Simd => "SIMD",
+            Mode::Mimd => "MIMD",
+            Mode::Smimd => "S/MIMD",
+        })
+    }
+}
+
+/// A completed matrix-multiplication run.
+#[derive(Debug, Clone)]
+pub struct MatmulOutcome {
+    pub mode: Mode,
+    pub params: MatmulParams,
+    /// Measured program execution time in cycles (the makespan over all
+    /// participating processors, MCs included).
+    pub cycles: u64,
+    /// Full machine traces.
+    pub run: RunResult,
+    /// The computed product, gathered from PE memories.
+    pub c: Matrix,
+}
+
+impl MatmulOutcome {
+    /// Execution time in milliseconds on the 8 MHz prototype clock.
+    pub fn millis(&self) -> f64 {
+        pasm_isa::cycles_to_ms(self.cycles)
+    }
+}
+
+/// Load one matmul job onto a machine's virtual machine: data layout, network
+/// circuits, PE and MC programs. Returns the layout for result read-back.
+fn load_job(
+    machine: &mut Machine,
+    mode: Mode,
+    params: MatmulParams,
+    vm: &pasm_prog::VirtualMachine,
+    a: &Matrix,
+    b: &Matrix,
+) -> Layout {
+    match mode {
+        Mode::Serial => {
+            let layout = Layout::serial(params.n);
+            layout.load(machine, &vm.pes[..1], a, b);
+            machine.load_pe_program(vm.pes[0], serial::pe_program(params));
+            machine.load_mc_program(vm.mcs[0], serial::mc_program());
+            layout
+        }
+        Mode::Simd => {
+            let layout = Layout::parallel(params.n, params.p);
+            layout.load(machine, &vm.pes, a, b);
+            machine.connect_ring(&vm.pes).expect("ring circuits");
+            for &pe in &vm.pes {
+                machine.load_pe_program(pe, simd::pe_program());
+            }
+            let mc_prog = simd::mc_program(params, vm.mask);
+            for &mc in &vm.mcs {
+                machine.load_mc_program(mc, mc_prog.clone());
+            }
+            layout
+        }
+        Mode::Mimd | Mode::Smimd => {
+            let sync = if mode == Mode::Mimd { CommSync::Polling } else { CommSync::Barrier };
+            let layout = Layout::parallel(params.n, params.p);
+            layout.load(machine, &vm.pes, a, b);
+            machine.connect_ring(&vm.pes).expect("ring circuits");
+            let pe_prog = mimd::pe_program(params, sync);
+            for &pe in &vm.pes {
+                machine.load_pe_program(pe, pe_prog.clone());
+            }
+            let mc_prog = mimd::mc_program(params, sync, vm.mask);
+            for &mc in &vm.mcs {
+                machine.load_mc_program(mc, mc_prog.clone());
+            }
+            layout
+        }
+    }
+}
+
+/// Run one matrix multiplication. `a` and `b` are the operand matrices
+/// (`n × n`, matching `params.n`).
+pub fn run_matmul(
+    cfg: &MachineConfig,
+    mode: Mode,
+    params: MatmulParams,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<MatmulOutcome, RunError> {
+    assert_eq!(a.n, params.n);
+    assert_eq!(b.n, params.n);
+    let mut machine = Machine::new(cfg.clone());
+    let vm = select_vm(cfg, if mode == Mode::Serial { 1 } else { params.p });
+    let layout = load_job(&mut machine, mode, params, &vm, a, b);
+    let run = machine.run()?;
+    let c = layout.read_c(&machine, &vm.pes[..layout.p]);
+    Ok(MatmulOutcome { mode, params, cycles: run.makespan, run, c })
+}
+
+/// One job of a partitioned (multi-virtual-machine) run.
+#[derive(Debug, Clone)]
+pub struct Job {
+    pub mode: Mode,
+    pub params: MatmulParams,
+    /// MCs (and thus PE groups) this job's virtual machine occupies.
+    pub mcs: Vec<usize>,
+    pub a: Matrix,
+    pub b: Matrix,
+}
+
+/// Outcome of one job of a partitioned run.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    pub mode: Mode,
+    pub params: MatmulParams,
+    /// This job's completion time: the latest finish among its own PEs and MCs.
+    pub cycles: u64,
+    pub c: Matrix,
+}
+
+/// Run several jobs **simultaneously** on disjoint virtual machines of one
+/// physical machine — PASM's partitionability (the first letter of its name).
+///
+/// Each job gets the PE groups of its `mcs`; jobs must name disjoint MC sets.
+/// Because partition members agree in the low-order PE-address bits, the
+/// concurrent ring circuits share low-stage boxes only in straight mode and
+/// are disjoint elsewhere, so the partitions neither block nor slow each
+/// other (asserted by the integration tests).
+pub fn run_concurrent(cfg: &MachineConfig, jobs: &[Job]) -> Result<Vec<JobOutcome>, RunError> {
+    let mut seen = vec![false; cfg.n_mcs];
+    for j in jobs {
+        for &mc in &j.mcs {
+            assert!(!seen[mc], "MC {mc} claimed by two jobs");
+            seen[mc] = true;
+        }
+    }
+    let mut machine = Machine::new(cfg.clone());
+    let mut loaded = Vec::new();
+    for job in jobs {
+        let p = if job.mode == Mode::Serial { 1 } else { job.params.p };
+        let vm = pasm_prog::matmul::select_vm_on_mcs(cfg, p, &job.mcs);
+        let layout = load_job(&mut machine, job.mode, job.params, &vm, &job.a, &job.b);
+        loaded.push((job, vm, layout));
+    }
+    let run = machine.run()?;
+    Ok(loaded
+        .into_iter()
+        .map(|(job, vm, layout)| {
+            let pes = &vm.pes[..layout.p];
+            let cycles = pes
+                .iter()
+                .map(|&pe| run.pe[pe].finished_at)
+                .chain(vm.mcs.iter().map(|&mc| run.mc[mc].finished_at))
+                .max()
+                .unwrap_or(0);
+            JobOutcome {
+                mode: job.mode,
+                params: job.params,
+                cycles,
+                c: layout.read_c(&machine, pes),
+            }
+        })
+        .collect())
+}
+
+/// Run and assert the product equals the host reference (test/debug helper;
+/// the paper used the identity matrix in A for the same reason).
+pub fn run_matmul_verified(
+    cfg: &MachineConfig,
+    mode: Mode,
+    params: MatmulParams,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<MatmulOutcome, RunError> {
+    let out = run_matmul(cfg, mode, params, a, b)?;
+    let expect = a.multiply(b);
+    assert_eq!(out.c, expect, "{mode} n={} p={} produced a wrong product", params.n, params.p);
+    Ok(out)
+}
+
+/// Standard workload of the paper: identity A, uniform-random B.
+pub fn paper_workload(n: usize, seed: u64) -> (Matrix, Matrix) {
+    (Matrix::identity(n), Matrix::uniform(n, seed))
+}
+
+/// Outcome of a global-sum reduction run.
+#[derive(Debug, Clone)]
+pub struct ReduceOutcome {
+    pub mode: Mode,
+    pub cycles: u64,
+    /// The per-PE results (each PE must hold the global sum).
+    pub sums: Vec<u16>,
+}
+
+/// Run the [`pasm_prog::reduction`] global sum in the given mode over
+/// per-PE blocks of `k` elements. `Mode::Serial` is not meaningful here.
+pub fn run_reduction(
+    cfg: &MachineConfig,
+    mode: Mode,
+    k: usize,
+    p: usize,
+    blocks: &[Vec<u16>],
+) -> Result<ReduceOutcome, RunError> {
+    use pasm_prog::reduction::{self, ReduceParams, RESULT_ADDR, VEC_BASE};
+    assert_eq!(blocks.len(), p);
+    assert!(blocks.iter().all(|b| b.len() == k));
+    let params = ReduceParams { k, p };
+    let vm = select_vm(cfg, p);
+    let mut machine = Machine::new(cfg.clone());
+    machine.connect_ring(&vm.pes).expect("ring circuits");
+    for (l, &pe) in vm.pes.iter().enumerate() {
+        machine.pe_mem_mut(pe).load_words(VEC_BASE, &blocks[l]);
+    }
+    match mode {
+        Mode::Simd => {
+            let (pe_prog, mc_prog) = reduction::simd_programs(params, vm.mask);
+            for &pe in &vm.pes {
+                machine.load_pe_program(pe, pe_prog.clone());
+            }
+            for &mc in &vm.mcs {
+                machine.load_mc_program(mc, mc_prog.clone());
+            }
+        }
+        Mode::Mimd | Mode::Smimd => {
+            let sync = if mode == Mode::Mimd { CommSync::Polling } else { CommSync::Barrier };
+            let pe_prog = reduction::pe_program(params, sync);
+            for &pe in &vm.pes {
+                machine.load_pe_program(pe, pe_prog.clone());
+            }
+            let mc_prog = reduction::mc_program(params, sync, vm.mask);
+            for &mc in &vm.mcs {
+                machine.load_mc_program(mc, mc_prog.clone());
+            }
+        }
+        Mode::Serial => panic!("reduction is a parallel workload"),
+    }
+    let run = machine.run()?;
+    let sums = vm.pes.iter().map(|&pe| machine.pe_mem(pe).read_word(RESULT_ADDR)).collect();
+    Ok(ReduceOutcome { mode, cycles: run.makespan, sums })
+}
+
+/// Re-export for callers constructing parameter sets.
+pub use pasm_prog::matmul::MatmulParams as Params;
+
+/// Re-export of the VM selector.
+pub use matmul::select_vm as vm_for;

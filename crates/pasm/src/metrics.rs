@@ -1,0 +1,77 @@
+//! Derived measurements: speed-up, efficiency, and the phase breakdown.
+
+use crate::experiment::MatmulOutcome;
+use pasm_prog::codegen::{PHASE_COMM, PHASE_MUL};
+use serde::{Deserialize, Serialize};
+
+/// Speed-up of a parallel run over the serial baseline.
+pub fn speedup(serial_cycles: u64, parallel_cycles: u64) -> f64 {
+    serial_cycles as f64 / parallel_cycles as f64
+}
+
+/// Efficiency as defined in paper §10: speed-up divided by the number of PEs.
+/// The paper's SIMD version exceeds 1.0 ("superlinear") because the MCs do the
+/// control flow and the queue fetches faster than PE DRAM.
+pub fn efficiency(serial_cycles: u64, parallel_cycles: u64, p: usize) -> f64 {
+    speedup(serial_cycles, parallel_cycles) / p as f64
+}
+
+/// The Figures 8–10 decomposition of a run's execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Cycles in the multiplication section (incl. the add into C and the
+    /// related address arithmetic, as in the paper).
+    pub multiply: u64,
+    /// Cycles in the communication section (polls/barriers included).
+    pub communication: u64,
+    /// Everything else: clearing C, pointer rotation, loop overheads.
+    pub other: u64,
+    /// Total program time.
+    pub total: u64,
+}
+
+impl Breakdown {
+    /// Extract the breakdown from a finished run. Phase times are taken from
+    /// the slowest PE's accounting (the makespan perspective).
+    pub fn of(out: &MatmulOutcome) -> Breakdown {
+        let multiply = out.run.phase_max(PHASE_MUL as usize);
+        let communication = out.run.phase_max(PHASE_COMM as usize);
+        let total = out.cycles;
+        Breakdown {
+            multiply,
+            communication,
+            other: total.saturating_sub(multiply + communication),
+            total,
+        }
+    }
+
+    /// Fractions of total time (multiply, communication, other).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total.max(1) as f64;
+        (
+            self.multiply as f64 / t,
+            self.communication as f64 / t,
+            self.other as f64 / t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_efficiency() {
+        assert!((speedup(1000, 250) - 4.0).abs() < 1e-12);
+        assert!((efficiency(1000, 250, 4) - 1.0).abs() < 1e-12);
+        assert!(efficiency(1000, 300, 4) < 1.0);
+        assert!(efficiency(1000, 200, 4) > 1.0, "superlinear case");
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let b = Breakdown { multiply: 60, communication: 25, other: 15, total: 100 };
+        let (m, c, o) = b.fractions();
+        assert!((m + c + o - 1.0).abs() < 1e-12);
+    }
+}

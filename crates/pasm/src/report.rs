@@ -1,0 +1,129 @@
+//! Plain-text rendering of the regenerated tables and figure series.
+
+use crate::figures::*;
+
+/// Render Table 1 (raw MIPS).
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::from("Table 1: prototype raw performance (MIPS)\n");
+    s.push_str("instruction        SIMD    MIMD    SIMD/MIMD\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{:<17} {:>6.3}  {:>6.3}   {:>6.3}\n",
+            r.instruction,
+            r.simd_mips,
+            r.mimd_mips,
+            r.simd_mips / r.mimd_mips
+        ));
+    }
+    s
+}
+
+/// Render the Figure-6 series (execution time vs n).
+pub fn render_fig6(rows: &[Fig6Row]) -> String {
+    let mut s = String::from("Figure 6: execution time (ms) vs problem size\n");
+    s.push_str("    n     SISD       SIMD       MIMD     S/MIMD\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{:>5} {:>9.2} {:>9.2} {:>9.2} {:>9.2}\n",
+            r.n, r.serial_ms, r.simd_ms, r.mimd_ms, r.smimd_ms
+        ));
+    }
+    s
+}
+
+/// Render the Figure-7 series (time vs added multiplies) with the crossover.
+pub fn render_fig7(rows: &[Fig7Row]) -> String {
+    let mut s = String::from("Figure 7: execution time (ms) vs added inner-loop multiplies\n");
+    s.push_str("extra     SIMD    S/MIMD   faster\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{:>5} {:>8.2} {:>8.2}   {}\n",
+            r.extra_muls,
+            r.simd_ms,
+            r.smimd_ms,
+            if r.smimd_ms <= r.simd_ms { "S/MIMD" } else { "SIMD" }
+        ));
+    }
+    match fig7_crossover(rows) {
+        Some(x) => s.push_str(&format!("crossover at {x} added multiplies\n")),
+        None => s.push_str("no crossover in probed range\n"),
+    }
+    s
+}
+
+/// Render a Figures-8–10 breakdown series.
+pub fn render_breakdown(rows: &[BreakdownRow]) -> String {
+    let extra = rows.first().map(|r| r.extra_muls).unwrap_or(0);
+    let mut s = format!(
+        "Figures 8-10: contributions to execution time (ms), {} total inner-loop multiplies\n",
+        extra + 1
+    );
+    s.push_str("    n  mode     multiply     comm    other    total\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{:>5}  {:<7} {:>9.2} {:>8.2} {:>8.2} {:>8.2}\n",
+            r.n,
+            r.mode.to_string(),
+            r.multiply_ms,
+            r.communication_ms,
+            r.other_ms,
+            r.total_ms
+        ));
+    }
+    s
+}
+
+/// Render the Figure-11 series (efficiency vs n).
+pub fn render_fig11(rows: &[EffRow]) -> String {
+    let mut s = String::from("Figure 11: efficiency vs problem size\n");
+    s.push_str("    n    SIMD    MIMD  S/MIMD\n");
+    for r in rows {
+        s.push_str(&format!("{:>5} {:>7.3} {:>7.3} {:>7.3}\n", r.n, r.simd, r.mimd, r.smimd));
+    }
+    s
+}
+
+/// Render the Figure-12 series (efficiency vs p).
+pub fn render_fig12(rows: &[Fig12Row]) -> String {
+    let mut s = String::from("Figure 12: efficiency vs number of processors\n");
+    s.push_str("    p    SIMD    MIMD  S/MIMD\n");
+    for r in rows {
+        s.push_str(&format!("{:>5} {:>7.3} {:>7.3} {:>7.3}\n", r.p, r.simd, r.mimd, r.smimd));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Mode;
+
+    #[test]
+    fn renders_are_nonempty_and_tabular() {
+        let t1 = render_table1(&[Table1Row {
+            instruction: "ADD.W Dn,Dn".into(),
+            simd_mips: 2.0,
+            mimd_mips: 1.5,
+        }]);
+        assert!(t1.contains("ADD.W"));
+        assert!(t1.contains("1.333"));
+
+        let f7 = render_fig7(&[
+            Fig7Row { extra_muls: 0, simd_ms: 1.0, smimd_ms: 2.0 },
+            Fig7Row { extra_muls: 14, simd_ms: 3.0, smimd_ms: 2.9 },
+        ]);
+        assert!(f7.contains("crossover at 14"));
+
+        let bd = render_breakdown(&[BreakdownRow {
+            n: 64,
+            mode: Mode::Simd,
+            extra_muls: 13,
+            multiply_ms: 5.0,
+            communication_ms: 1.0,
+            other_ms: 0.5,
+            total_ms: 6.5,
+        }]);
+        assert!(bd.contains("14 total"));
+        assert!(bd.contains("SIMD"));
+    }
+}

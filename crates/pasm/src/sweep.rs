@@ -1,0 +1,76 @@
+//! Host-side parallelism for parameter sweeps.
+//!
+//! Every experiment point is an independent simulation (its own `Machine`),
+//! so sweeps parallelize trivially across host threads. A tiny work-stealing
+//! map over a crossbeam channel keeps the bench harness simple and the
+//! machine-local state `Send`-checked by construction.
+
+use crossbeam::channel;
+use std::thread;
+
+/// Parallel map preserving input order. `f` runs on a pool sized to the host
+/// parallelism (capped by the number of items).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let (tx, rx) = channel::unbounded::<(usize, &T)>();
+    for pair in items.iter().enumerate() {
+        tx.send(pair).expect("queue send");
+    }
+    drop(tx);
+
+    let (out_tx, out_rx) = channel::unbounded::<(usize, R)>();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let out_tx = out_tx.clone();
+            let f = &f;
+            s.spawn(move || {
+                while let Ok((i, item)) = rx.recv() {
+                    out_tx.send((i, f(item))).expect("result send");
+                }
+            });
+        }
+        drop(out_tx);
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    while let Ok((i, r)) = out_rx.recv() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|r| r.expect("all results delivered")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let out = par_map((0..100).collect(), |&x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(vec![41], |&x| x + 1), vec![42]);
+    }
+}

@@ -1,0 +1,67 @@
+//! The Extra-Stage Cube's reason for existing: tolerate any single interchange
+//! box fault. This example breaks boxes in each kind of stage, applies the ESC
+//! reconfiguration rules, and shows the network still routes every pair — then
+//! runs a full matrix multiplication over a degraded network.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use pasm::{Machine, MachineConfig, Params};
+use pasm_net::EscNetwork;
+use pasm_prog::matmul::{mimd, select_vm};
+use pasm_prog::{CommSync, Layout, Matrix};
+
+fn demonstrate(stage: u32, box_idx: usize, label: &str) {
+    let mut net = EscNetwork::new(16);
+    net.set_fault(stage, box_idx, true);
+    net.reconfigure_for_faults();
+    let mut ok = 0;
+    for s in 0..16 {
+        for d in 0..16 {
+            if let Ok(id) = net.establish(s, d) {
+                ok += 1;
+                net.release(id).unwrap();
+            }
+        }
+    }
+    println!(
+        "{label}: fault at (stage {stage}, box {box_idx}) -> extra stage {}, output stage {}; {ok}/256 pairs routable",
+        if net.extra_enabled() { "ENABLED" } else { "bypassed" },
+        if net.output_enabled() { "enabled" } else { "BYPASSED" },
+    );
+}
+
+fn main() {
+    println!("Extra-Stage Cube single-fault tolerance (N=16: 5 stages x 8 boxes)\n");
+    demonstrate(0, 2, "extra-stage fault   ");
+    demonstrate(2, 5, "interior-stage fault");
+    demonstrate(4, 1, "output-stage fault  ");
+
+    // Full application run over a network with an interior fault.
+    println!("\nRunning S/MIMD matrix multiplication (n=16, p=4) over the degraded network...");
+    let cfg = MachineConfig::prototype();
+    let mut machine = Machine::new(cfg.clone());
+    machine.network_mut().set_fault(2, 5, true);
+    machine.network_mut().reconfigure_for_faults();
+
+    let params = Params::new(16, 4);
+    let a = Matrix::uniform(16, 1);
+    let b = Matrix::uniform(16, 2);
+    let vm = select_vm(&cfg, 4);
+    let layout = Layout::parallel(16, 4);
+    layout.load(&mut machine, &vm.pes, &a, &b);
+    machine.connect_ring(&vm.pes).expect("ring routed around the fault");
+    for &pe in &vm.pes {
+        machine.load_pe_program(pe, mimd::pe_program(params, CommSync::Barrier));
+    }
+    machine.load_mc_program(vm.mcs[0], mimd::mc_program(params, CommSync::Barrier, vm.mask));
+    let run = machine.run().expect("run");
+    let correct = layout.read_c(&machine, &vm.pes) == a.multiply(&b);
+    println!(
+        "completed in {:.2} ms of machine time; result {} against the host reference.",
+        pasm_isa::cycles_to_ms(run.makespan),
+        if correct { "VERIFIED" } else { "WRONG" }
+    );
+    assert!(correct);
+}

@@ -1,0 +1,21 @@
+; Demonstrates the non-deterministic MC68000 multiply timing the paper's
+; experiments are built on: 1000 multiplies by a zero multiplier, then 1000 by
+; an all-ones multiplier. Run both halves and compare cycle counts:
+;
+;   cargo run -p pasm --bin pasm-run -- examples/programs/mulu_timing.s --stats
+;
+; Expected: the second loop takes 2*16 = 32 more cycles per multiply
+; (38 vs 70 core cycles per MULU).
+
+        MOVE.W  #0,D1          ; multiplier with popcount 0
+        MOVE.W  #999,D7
+l1:     MULU    D1,D0          ; 38 cycles each
+        DBRA    D7,l1
+
+        MOVE.W  #$FFFF,D1      ; multiplier with popcount 16
+        MOVEQ   #1,D0
+        MOVE.W  #999,D7
+l2:     MULU    D1,D2          ; 70 cycles each
+        DBRA    D7,l2
+
+        HALT

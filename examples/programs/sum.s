@@ -1,0 +1,13 @@
+; Sum the words 1..100 with a DBRA loop (quickstart for the assembler).
+;
+;   cargo run -p pasm --bin pasm-run -- examples/programs/sum.s
+;
+; D0 ends at 5050.
+
+        MOVEQ   #0,D0          ; accumulator
+        MOVE.W  #100,D1        ; next value to add
+        MOVE.W  #99,D7         ; loop counter (DBRA runs count+1 times)
+loop:   ADD.W   D1,D0
+        SUBQ.W  #1,D1
+        DBRA    D7,loop
+        HALT

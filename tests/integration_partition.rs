@@ -1,0 +1,93 @@
+//! PASM's headline property: the machine is *partitionable* into independent
+//! virtual SIMD/MIMD machines. These tests run multiple jobs simultaneously
+//! on disjoint MC groups and check correctness, non-interference, and exact
+//! timing isolation.
+
+use pasm::{paper_workload, run_concurrent, run_matmul, Job, MachineConfig, Mode, Params};
+use pasm_prog::Matrix;
+
+fn cfg() -> MachineConfig {
+    MachineConfig::prototype()
+}
+
+fn job(mode: Mode, n: usize, p: usize, mcs: Vec<usize>, seed: u64) -> Job {
+    Job {
+        mode,
+        params: Params::new(n, p),
+        mcs,
+        a: Matrix::uniform(n, seed),
+        b: Matrix::uniform(n, seed + 1),
+    }
+}
+
+#[test]
+fn two_concurrent_mimd_jobs_are_both_correct() {
+    let jobs =
+        [job(Mode::Mimd, 16, 4, vec![0], 1), job(Mode::Mimd, 8, 4, vec![1], 2)];
+    let out = run_concurrent(&cfg(), &jobs).unwrap();
+    for (j, o) in jobs.iter().zip(&out) {
+        assert_eq!(o.c, j.a.multiply(&j.b), "{:?}", j.mode);
+        assert!(o.cycles > 0);
+    }
+}
+
+#[test]
+fn mixed_mode_partition_simd_next_to_smimd() {
+    // A SIMD job on MCs {0,1} (8 PEs) next to an S/MIMD job on MC 2 (4 PEs),
+    // with MC 3 idle — three-way partition of the prototype.
+    let jobs = [
+        job(Mode::Simd, 16, 8, vec![0, 1], 3),
+        job(Mode::Smimd, 16, 4, vec![2], 4),
+    ];
+    let out = run_concurrent(&cfg(), &jobs).unwrap();
+    for (j, o) in jobs.iter().zip(&out) {
+        assert_eq!(o.c, j.a.multiply(&j.b), "{:?}", j.mode);
+    }
+}
+
+#[test]
+fn four_way_partition_runs_all_modes_at_once() {
+    let jobs = [
+        job(Mode::Simd, 8, 4, vec![0], 5),
+        job(Mode::Mimd, 8, 4, vec![1], 6),
+        job(Mode::Smimd, 8, 4, vec![2], 7),
+        job(Mode::Serial, 8, 1, vec![3], 8),
+    ];
+    let out = run_concurrent(&cfg(), &jobs).unwrap();
+    for (j, o) in jobs.iter().zip(&out) {
+        assert_eq!(o.c, j.a.multiply(&j.b), "{:?}", j.mode);
+    }
+}
+
+#[test]
+fn partitions_have_exact_timing_isolation() {
+    // A job must take *exactly* as long inside a partition as it does alone:
+    // the partitions share no MCs, no queues, and only straight-mode boxes in
+    // the low network stages.
+    let (a, b) = paper_workload(16, 9);
+    let solo = run_matmul(&cfg(), Mode::Smimd, Params::new(16, 4), &a, &b).unwrap();
+    let jobs = [
+        Job { mode: Mode::Smimd, params: Params::new(16, 4), mcs: vec![0], a, b },
+        job(Mode::Mimd, 16, 4, vec![1], 11),
+    ];
+    let out = run_concurrent(&cfg(), &jobs).unwrap();
+    assert_eq!(
+        out[0].cycles, solo.cycles,
+        "partitioned run must match the solo run cycle-for-cycle"
+    );
+}
+
+#[test]
+#[should_panic(expected = "claimed by two jobs")]
+fn overlapping_partitions_are_rejected() {
+    let jobs = [job(Mode::Mimd, 8, 4, vec![0], 1), job(Mode::Mimd, 8, 4, vec![0], 2)];
+    let _ = run_concurrent(&cfg(), &jobs);
+}
+
+#[test]
+fn partition_on_later_mcs_works_alone() {
+    // A virtual machine need not start at MC 0.
+    let jobs = [job(Mode::Smimd, 16, 8, vec![2, 3], 12)];
+    let out = run_concurrent(&cfg(), &jobs).unwrap();
+    assert_eq!(out[0].c, jobs[0].a.multiply(&jobs[0].b));
+}

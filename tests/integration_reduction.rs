@@ -1,0 +1,67 @@
+//! Global-sum reduction across the ring: correctness in every mode and the
+//! communication-protocol cost ordering on a communication-dominated workload.
+
+use pasm::{run_reduction, MachineConfig, Mode};
+use pasm_prog::reduction::reference_sum;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn cfg() -> MachineConfig {
+    MachineConfig::prototype()
+}
+
+fn blocks(k: usize, p: usize, seed: u64) -> Vec<Vec<u16>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..p).map(|_| (0..k).map(|_| rng.gen()).collect()).collect()
+}
+
+#[test]
+fn all_modes_compute_the_global_sum() {
+    for p in [2usize, 4, 8, 16] {
+        let data = blocks(32, p, p as u64);
+        let expect = reference_sum(&data);
+        for mode in [Mode::Simd, Mode::Mimd, Mode::Smimd] {
+            let out = run_reduction(&cfg(), mode, 32, p, &data)
+                .unwrap_or_else(|e| panic!("{mode} p={p}: {e}"));
+            assert!(
+                out.sums.iter().all(|&s| s == expect),
+                "{mode} p={p}: {:?} != {expect}",
+                out.sums
+            );
+        }
+    }
+}
+
+#[test]
+fn communication_protocol_cost_ordering() {
+    // With a tiny local block the run is dominated by the p−1 ring exchanges:
+    // polled MIMD must cost the most; barrier S/MIMD and lockstep SIMD are
+    // both cheap.
+    let p = 16;
+    let data = blocks(4, p, 9);
+    let t = |mode| run_reduction(&cfg(), mode, 4, p, &data).unwrap().cycles;
+    let (simd, mimd, smimd) = (t(Mode::Simd), t(Mode::Mimd), t(Mode::Smimd));
+    assert!(mimd > smimd, "polling ({mimd}) must cost more than barriers ({smimd})");
+    assert!(mimd > simd, "polling ({mimd}) must cost more than lockstep ({simd})");
+}
+
+#[test]
+fn reduction_scales_with_block_size() {
+    let p = 4;
+    let small = blocks(8, p, 1);
+    let large = blocks(256, p, 1);
+    let ts = run_reduction(&cfg(), Mode::Mimd, 8, p, &small).unwrap().cycles;
+    let tl = run_reduction(&cfg(), Mode::Mimd, 256, p, &large).unwrap().cycles;
+    assert!(tl > ts);
+    // The local-sum section is O(k); 32x the data should be >5x the time even
+    // with the fixed ring cost.
+    assert!(tl as f64 > 5.0 * ts as f64, "{tl} vs {ts}");
+}
+
+#[test]
+fn single_element_blocks_work() {
+    let p = 4;
+    let data = vec![vec![1u16], vec![2], vec![3], vec![4]];
+    let out = run_reduction(&cfg(), Mode::Smimd, 1, p, &data).unwrap();
+    assert!(out.sums.iter().all(|&s| s == 10));
+}
