@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, release build, full test suite.
+# Run from the repository root. Any failure aborts the script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release --locked"
+cargo build --release --locked
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> ci.sh: all green"

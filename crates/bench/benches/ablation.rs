@@ -3,7 +3,8 @@
 //! machine time* ablations — A1/A2/A3 of DESIGN.md — are the `ablations`
 //! binary; these benches track the host cost of the mechanisms.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::micro::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use pasm::{paper_workload, run_matmul, Mode, Params};
 use pasm_machine::{MachineConfig, ReleaseMode};
 
@@ -11,11 +12,20 @@ fn bench_release_modes(c: &mut Criterion) {
     let n = 16;
     let (a, b) = paper_workload(n, 1);
     let mut g = c.benchmark_group("simd_release_rule");
-    for (name, mode) in [("lockstep", ReleaseMode::Lockstep), ("decoupled", ReleaseMode::Decoupled)]
-    {
-        let cfg = MachineConfig { release_mode: mode, ..MachineConfig::prototype() };
+    for (name, mode) in [
+        ("lockstep", ReleaseMode::Lockstep),
+        ("decoupled", ReleaseMode::Decoupled),
+    ] {
+        let cfg = MachineConfig {
+            release_mode: mode,
+            ..MachineConfig::prototype()
+        };
         g.bench_function(BenchmarkId::from_parameter(name), |bch| {
-            bch.iter(|| run_matmul(&cfg, Mode::Simd, Params::new(n, 4), &a, &b).unwrap().cycles)
+            bch.iter(|| {
+                run_matmul(&cfg, Mode::Simd, Params::new(n, 4), &a, &b)
+                    .unwrap()
+                    .cycles
+            })
         });
     }
     g.finish();
@@ -26,9 +36,16 @@ fn bench_queue_capacity(c: &mut Criterion) {
     let (a, b) = paper_workload(n, 1);
     let mut g = c.benchmark_group("queue_capacity");
     for cap in [8u32, 64, 512] {
-        let cfg = MachineConfig { queue_capacity_words: cap, ..MachineConfig::prototype() };
+        let cfg = MachineConfig {
+            queue_capacity_words: cap,
+            ..MachineConfig::prototype()
+        };
         g.bench_function(BenchmarkId::from_parameter(cap), |bch| {
-            bch.iter(|| run_matmul(&cfg, Mode::Simd, Params::new(n, 4), &a, &b).unwrap().cycles)
+            bch.iter(|| {
+                run_matmul(&cfg, Mode::Simd, Params::new(n, 4), &a, &b)
+                    .unwrap()
+                    .cycles
+            })
         });
     }
     g.finish();

@@ -1,7 +1,8 @@
 //! Criterion benchmarks of end-to-end experiment runs (host cost per
 //! simulated run, by mode) — the unit of work of every figure sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::micro::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use pasm::{paper_workload, run_matmul, Mode, Params};
 use pasm_machine::MachineConfig;
 
@@ -13,7 +14,11 @@ fn bench_modes(c: &mut Criterion) {
     for mode in Mode::ALL {
         let p = if mode == Mode::Serial { 1 } else { 4 };
         g.bench_function(BenchmarkId::from_parameter(mode), |bch| {
-            bch.iter(|| run_matmul(&cfg, mode, Params::new(n, p), &a, &b).unwrap().cycles)
+            bch.iter(|| {
+                run_matmul(&cfg, mode, Params::new(n, p), &a, &b)
+                    .unwrap()
+                    .cycles
+            })
         });
     }
     g.finish();
@@ -25,7 +30,11 @@ fn bench_reduction(c: &mut Criterion) {
     let mut g = c.benchmark_group("run_reduction_k64_p4");
     for mode in [Mode::Simd, Mode::Mimd, Mode::Smimd] {
         g.bench_function(BenchmarkId::from_parameter(mode), |bch| {
-            bch.iter(|| pasm::run_reduction(&cfg, mode, 64, 4, &blocks).unwrap().cycles)
+            bch.iter(|| {
+                pasm::run_reduction(&cfg, mode, 64, 4, &blocks)
+                    .unwrap()
+                    .cycles
+            })
         });
     }
     g.finish();

@@ -1,6 +1,7 @@
 //! Criterion benchmarks of the Extra-Stage Cube routing and circuit layer.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::micro::{Criterion, Throughput};
+use bench::{criterion_group, criterion_main};
 use pasm_net::{ring_circuits, EscNetwork};
 
 fn bench_routing(c: &mut Criterion) {

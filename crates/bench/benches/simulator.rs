@@ -3,7 +3,8 @@
 //! assembler. These guard the simulator's usability for the large paper-scale
 //! sweeps (n = 256 runs execute hundreds of millions of instructions).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::micro::{BenchmarkId, Criterion, Throughput};
+use bench::{criterion_group, criterion_main};
 use pasm_machine::{Machine, MachineConfig};
 use pasm_prog::microbench::{self, MipsKind};
 

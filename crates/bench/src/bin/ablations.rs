@@ -51,7 +51,9 @@ fn main() {
         println!(
             "{:>4}  {}",
             r.ones,
-            r.crossover.map(|c| c.to_string()).unwrap_or_else(|| "none (SIMD always wins)".into())
+            r.crossover
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "none (SIMD always wins)".into())
         );
     }
     bench::save_json("ablation_density", &rows);

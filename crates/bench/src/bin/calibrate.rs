@@ -26,7 +26,11 @@ fn main() {
                     refresh_interval: 125,
                     refresh_duration: refresh,
                 },
-                fu_sram: MemTiming { wait_states: fu_ws, refresh_interval: 0, refresh_duration: 0 },
+                fu_sram: MemTiming {
+                    wait_states: fu_ws,
+                    refresh_interval: 0,
+                    refresh_duration: 0,
+                },
                 mc_dram: MemTiming {
                     wait_states: pe_ws,
                     refresh_interval: 125,
@@ -43,7 +47,9 @@ fn main() {
                 pe_ws,
                 fu_ws,
                 refresh,
-                cross.map(|c| c.to_string()).unwrap_or_else(|| "none".into()),
+                cross
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "none".into()),
                 eff[0].simd,
                 eff[0].mimd,
                 eff[0].smimd,

@@ -3,9 +3,11 @@
 //! `pasm::report`) and also drops the raw rows as JSON under
 //! `bench-results/` for EXPERIMENTS.md bookkeeping.
 
-use serde::Serialize;
+use pasm_util::ToJson;
 use std::fs;
 use std::path::PathBuf;
+
+pub mod micro;
 
 /// Directory the binaries write raw JSON results into.
 pub fn results_dir() -> PathBuf {
@@ -15,10 +17,9 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Serialize rows to `bench-results/<name>.json`.
-pub fn save_json<T: Serialize>(name: &str, rows: &T) {
+pub fn save_json<T: ToJson>(name: &str, rows: &T) {
     let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(rows).expect("serialize results");
-    fs::write(&path, json).expect("write results");
+    fs::write(&path, rows.to_json().pretty()).expect("write results");
     eprintln!("(raw rows written to {})", path.display());
 }
 

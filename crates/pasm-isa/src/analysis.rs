@@ -17,10 +17,9 @@
 use crate::instr::{Instr, ShiftCount};
 use crate::program::Program;
 use crate::timing::{self, ExecCtx};
-use serde::{Deserialize, Serialize};
 
 /// Inclusive min/max core-cycle bounds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingBounds {
     pub min: u32,
     pub max: u32,
@@ -41,7 +40,10 @@ pub fn is_data_dependent(i: &Instr) -> bool {
             | Instr::Muls { .. }
             | Instr::Divu { .. }
             | Instr::Divs { .. }
-            | Instr::Shift { count: ShiftCount::Reg(_), .. }
+            | Instr::Shift {
+                count: ShiftCount::Reg(_),
+                ..
+            }
     ) || matches!(i, Instr::Bcc { .. } | Instr::Dbra { .. })
 }
 
@@ -53,31 +55,78 @@ pub fn instr_bounds(i: &Instr) -> TimingBounds {
     let at = |ctx: ExecCtx| timing::base_cycles(i, ctx);
     match *i {
         Instr::Mulu { .. } => TimingBounds {
-            min: at(ExecCtx { src_value: 0, ..Default::default() }),
-            max: at(ExecCtx { src_value: 0xFFFF, ..Default::default() }),
+            min: at(ExecCtx {
+                src_value: 0,
+                ..Default::default()
+            }),
+            max: at(ExecCtx {
+                src_value: 0xFFFF,
+                ..Default::default()
+            }),
         },
         Instr::Muls { .. } => TimingBounds {
-            min: at(ExecCtx { src_value: 0, ..Default::default() }),
-            max: at(ExecCtx { src_value: 0x5555, ..Default::default() }),
+            min: at(ExecCtx {
+                src_value: 0,
+                ..Default::default()
+            }),
+            max: at(ExecCtx {
+                src_value: 0x5555,
+                ..Default::default()
+            }),
         },
         Instr::Divu { .. } | Instr::Divs { .. } => TimingBounds {
             // Early-out overflow is the cheapest; an all-zero quotient the dearest.
-            min: at(ExecCtx { src_value: 0, dst_value: 1, ..Default::default() }),
-            max: at(ExecCtx { src_value: 0xFFFF, dst_value: 0, ..Default::default() }),
+            min: at(ExecCtx {
+                src_value: 0,
+                dst_value: 1,
+                ..Default::default()
+            }),
+            max: at(ExecCtx {
+                src_value: 0xFFFF,
+                dst_value: 0,
+                ..Default::default()
+            }),
         },
-        Instr::Shift { count: ShiftCount::Reg(_), .. } => TimingBounds {
-            min: at(ExecCtx { shift_count: 0, ..Default::default() }),
-            max: at(ExecCtx { shift_count: 63, ..Default::default() }),
+        Instr::Shift {
+            count: ShiftCount::Reg(_),
+            ..
+        } => TimingBounds {
+            min: at(ExecCtx {
+                shift_count: 0,
+                ..Default::default()
+            }),
+            max: at(ExecCtx {
+                shift_count: 63,
+                ..Default::default()
+            }),
         },
         Instr::Bcc { .. } => {
-            let t = at(ExecCtx { branch_taken: true, ..Default::default() });
-            let n = at(ExecCtx { branch_taken: false, ..Default::default() });
-            TimingBounds { min: t.min(n), max: t.max(n) }
+            let t = at(ExecCtx {
+                branch_taken: true,
+                ..Default::default()
+            });
+            let n = at(ExecCtx {
+                branch_taken: false,
+                ..Default::default()
+            });
+            TimingBounds {
+                min: t.min(n),
+                max: t.max(n),
+            }
         }
         Instr::Dbra { .. } => {
-            let l = at(ExecCtx { loop_expired: false, ..Default::default() });
-            let e = at(ExecCtx { loop_expired: true, ..Default::default() });
-            TimingBounds { min: l.min(e), max: l.max(e) }
+            let l = at(ExecCtx {
+                loop_expired: false,
+                ..Default::default()
+            });
+            let e = at(ExecCtx {
+                loop_expired: true,
+                ..Default::default()
+            });
+            TimingBounds {
+                min: l.min(e),
+                max: l.max(e),
+            }
         }
         _ => {
             let c = at(ExecCtx::default());
@@ -88,10 +137,13 @@ pub fn instr_bounds(i: &Instr) -> TimingBounds {
 
 /// Bounds of a straight-line block (no control flow inside).
 pub fn block_bounds(block: &[Instr]) -> TimingBounds {
-    block.iter().map(instr_bounds).fold(TimingBounds { min: 0, max: 0 }, |a, b| TimingBounds {
-        min: a.min + b.min,
-        max: a.max + b.max,
-    })
+    block
+        .iter()
+        .map(instr_bounds)
+        .fold(TimingBounds { min: 0, max: 0 }, |a, b| TimingBounds {
+            min: a.min + b.min,
+            max: a.max + b.max,
+        })
 }
 
 /// Probability mass function of `popcount(U)` for `U ~ Uniform(0..2^16)`:
@@ -110,7 +162,9 @@ fn popcount_pmf() -> [f64; 17] {
 /// 38 + 2·8 = 54 cycles.
 pub fn mulu_mean() -> f64 {
     let pmf = popcount_pmf();
-    (0..=16).map(|k| pmf[k] * timing::mulu_cycles_from_ones(k as u32) as f64).sum()
+    (0..=16)
+        .map(|k| pmf[k] * timing::mulu_cycles_from_ones(k as u32) as f64)
+        .sum()
 }
 
 /// Expected `MULU` time under lockstep with `p` processors drawing i.i.d.
@@ -144,7 +198,7 @@ pub fn lockstep_premium(p: usize) -> f64 {
 }
 
 /// Static instruction-mix summary of a program.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProgramStats {
     /// Instructions in the main stream.
     pub main_instrs: usize,
@@ -192,14 +246,20 @@ mod tests {
 
     #[test]
     fn mulu_bounds_span_the_envelope() {
-        let b = instr_bounds(&Instr::Mulu { src: Ea::D(D1), dst: D0 });
+        let b = instr_bounds(&Instr::Mulu {
+            src: Ea::D(D1),
+            dst: D0,
+        });
         assert_eq!(b, TimingBounds { min: 38, max: 70 });
         assert_eq!(b.spread(), 32);
     }
 
     #[test]
     fn divu_bounds_cover_early_out_and_worst_case() {
-        let b = instr_bounds(&Instr::Divu { src: Ea::D(D1), dst: D0 });
+        let b = instr_bounds(&Instr::Divu {
+            src: Ea::D(D1),
+            dst: D0,
+        });
         assert_eq!(b.min, 10);
         assert_eq!(b.max, 76 + 4 * 16);
     }
@@ -213,7 +273,10 @@ mod tests {
 
     #[test]
     fn branch_bounds() {
-        let b = instr_bounds(&Instr::Bcc { cond: crate::Cond::Ne, target: 0 });
+        let b = instr_bounds(&Instr::Bcc {
+            cond: crate::Cond::Ne,
+            target: 0,
+        });
         assert_eq!(b, TimingBounds { min: 10, max: 12 });
         let b = instr_bounds(&Instr::Dbra { dst: D0, target: 0 });
         assert_eq!(b, TimingBounds { min: 10, max: 14 });
@@ -222,8 +285,15 @@ mod tests {
     #[test]
     fn block_bounds_add_up() {
         let blk = [
-            Instr::Move { size: Size::Word, src: Ea::D(D1), dst: Ea::D(D0) }, // 4
-            Instr::Mulu { src: Ea::D(D1), dst: D0 },                          // 38..70
+            Instr::Move {
+                size: Size::Word,
+                src: Ea::D(D1),
+                dst: Ea::D(D0),
+            }, // 4
+            Instr::Mulu {
+                src: Ea::D(D1),
+                dst: D0,
+            }, // 38..70
         ];
         assert_eq!(block_bounds(&blk), TimingBounds { min: 42, max: 74 });
     }
@@ -250,8 +320,14 @@ mod tests {
 
     #[test]
     fn data_dependence_classifier() {
-        assert!(is_data_dependent(&Instr::Mulu { src: Ea::D(D1), dst: D0 }));
-        assert!(is_data_dependent(&Instr::Divs { src: Ea::D(D1), dst: D0 }));
+        assert!(is_data_dependent(&Instr::Mulu {
+            src: Ea::D(D1),
+            dst: D0
+        }));
+        assert!(is_data_dependent(&Instr::Divs {
+            src: Ea::D(D1),
+            dst: D0
+        }));
         assert!(!is_data_dependent(&Instr::Nop));
         assert!(!is_data_dependent(&Instr::Shift {
             kind: crate::ShiftKind::Lsl,

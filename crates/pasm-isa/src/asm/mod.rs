@@ -61,13 +61,27 @@ mod tests {
         .unwrap();
         assert_eq!(
             p.instrs[0],
-            Instr::Move { size: Size::Word, src: Ea::Imm(42), dst: Ea::D(D0) }
+            Instr::Move {
+                size: Size::Word,
+                src: Ea::Imm(42),
+                dst: Ea::D(D0)
+            }
         );
         assert_eq!(
             p.instrs[1],
-            Instr::Move { size: Size::Word, src: Ea::D(D0), dst: Ea::PostInc(A0) }
+            Instr::Move {
+                size: Size::Word,
+                src: Ea::D(D0),
+                dst: Ea::PostInc(A0)
+            }
         );
-        assert_eq!(p.instrs[2], Instr::Bcc { cond: Cond::True, target: 0 });
+        assert_eq!(
+            p.instrs[2],
+            Instr::Bcc {
+                cond: Cond::True,
+                target: 0
+            }
+        );
     }
 
     #[test]
@@ -84,13 +98,62 @@ mod tests {
             ",
         )
         .unwrap();
-        assert_eq!(p.instrs[0], Instr::Move { size: Size::Byte, src: Ea::PreDec(A1), dst: Ea::D(D1) });
-        assert_eq!(p.instrs[1], Instr::Move { size: Size::Long, src: Ea::Disp(8, A2), dst: Ea::D(D2) });
-        assert_eq!(p.instrs[2], Instr::Move { size: Size::Word, src: Ea::Disp(-6, A3), dst: Ea::D(D3) });
-        assert_eq!(p.instrs[3], Instr::Move { size: Size::Word, src: Ea::AbsW(0x1F00), dst: Ea::D(D4) });
-        assert_eq!(p.instrs[4], Instr::Move { size: Size::Word, src: Ea::AbsL(0xFF0000), dst: Ea::D(D5) });
-        assert_eq!(p.instrs[5], Instr::Move { size: Size::Word, src: Ea::Imm(0xFF), dst: Ea::D(D6) });
-        assert_eq!(p.instrs[6], Instr::Move { size: Size::Word, src: Ea::Imm(0b1010), dst: Ea::D(D7) });
+        assert_eq!(
+            p.instrs[0],
+            Instr::Move {
+                size: Size::Byte,
+                src: Ea::PreDec(A1),
+                dst: Ea::D(D1)
+            }
+        );
+        assert_eq!(
+            p.instrs[1],
+            Instr::Move {
+                size: Size::Long,
+                src: Ea::Disp(8, A2),
+                dst: Ea::D(D2)
+            }
+        );
+        assert_eq!(
+            p.instrs[2],
+            Instr::Move {
+                size: Size::Word,
+                src: Ea::Disp(-6, A3),
+                dst: Ea::D(D3)
+            }
+        );
+        assert_eq!(
+            p.instrs[3],
+            Instr::Move {
+                size: Size::Word,
+                src: Ea::AbsW(0x1F00),
+                dst: Ea::D(D4)
+            }
+        );
+        assert_eq!(
+            p.instrs[4],
+            Instr::Move {
+                size: Size::Word,
+                src: Ea::AbsL(0xFF0000),
+                dst: Ea::D(D5)
+            }
+        );
+        assert_eq!(
+            p.instrs[5],
+            Instr::Move {
+                size: Size::Word,
+                src: Ea::Imm(0xFF),
+                dst: Ea::D(D6)
+            }
+        );
+        assert_eq!(
+            p.instrs[6],
+            Instr::Move {
+                size: Size::Word,
+                src: Ea::Imm(0b1010),
+                dst: Ea::D(D7)
+            }
+        );
     }
 
     #[test]
@@ -110,13 +173,60 @@ mod tests {
             ",
         )
         .unwrap();
-        assert_eq!(p.instrs[0], Instr::Add { size: Size::Word, src: Ea::PostInc(A0), dst: D0 });
-        assert_eq!(p.instrs[1], Instr::AddTo { size: Size::Word, src: D0, dst: Ea::Ind(A1) });
-        assert_eq!(p.instrs[2], Instr::Adda { size: Size::Long, src: Ea::D(D1), dst: A2 });
-        assert_eq!(p.instrs[3], Instr::Addq { size: Size::Word, value: 4, dst: Ea::D(D3) });
-        assert_eq!(p.instrs[4], Instr::Subq { size: Size::Long, value: 1, dst: Ea::A(A4) });
-        assert_eq!(p.instrs[5], Instr::Mulu { src: Ea::D(D1), dst: D0 });
-        assert_eq!(p.instrs[6], Instr::Muls { src: Ea::Ind(A0), dst: D2 });
+        assert_eq!(
+            p.instrs[0],
+            Instr::Add {
+                size: Size::Word,
+                src: Ea::PostInc(A0),
+                dst: D0
+            }
+        );
+        assert_eq!(
+            p.instrs[1],
+            Instr::AddTo {
+                size: Size::Word,
+                src: D0,
+                dst: Ea::Ind(A1)
+            }
+        );
+        assert_eq!(
+            p.instrs[2],
+            Instr::Adda {
+                size: Size::Long,
+                src: Ea::D(D1),
+                dst: A2
+            }
+        );
+        assert_eq!(
+            p.instrs[3],
+            Instr::Addq {
+                size: Size::Word,
+                value: 4,
+                dst: Ea::D(D3)
+            }
+        );
+        assert_eq!(
+            p.instrs[4],
+            Instr::Subq {
+                size: Size::Long,
+                value: 1,
+                dst: Ea::A(A4)
+            }
+        );
+        assert_eq!(
+            p.instrs[5],
+            Instr::Mulu {
+                src: Ea::D(D1),
+                dst: D0
+            }
+        );
+        assert_eq!(
+            p.instrs[6],
+            Instr::Muls {
+                src: Ea::Ind(A0),
+                dst: D2
+            }
+        );
         assert!(matches!(p.instrs[7], Instr::Shift { .. }));
         assert!(matches!(p.instrs[8], Instr::Shift { .. }));
         assert_eq!(p.instrs[9], Instr::Swap { dst: D7 });

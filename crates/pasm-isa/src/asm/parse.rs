@@ -23,7 +23,10 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Assemble source text into a [`Program`].
@@ -92,7 +95,10 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
     if in_block {
         return err(src.lines().count(), "unterminated .block");
     }
-    b.build().map_err(|e| AsmError { line: 0, message: e.to_string() })
+    b.build().map_err(|e| AsmError {
+        line: 0,
+        message: e.to_string(),
+    })
 }
 
 /// Split a mnemonic into (opcode, optional size suffix).
@@ -158,7 +164,9 @@ fn parse_ea(s: &str, line: usize) -> Result<Ea, AsmError> {
         return Ok(Ea::Imm(v as u32));
     }
     if let Some(body) = s.strip_prefix("-(") {
-        let body = body.strip_suffix(')').ok_or(())
+        let body = body
+            .strip_suffix(')')
+            .ok_or(())
             .or_else(|_| err::<&str>(line, format!("bad operand `{s}`")))?;
         let a = parse_addr_reg(body)
             .ok_or(())
@@ -205,7 +213,10 @@ fn parse_ea(s: &str, line: usize) -> Result<Ea, AsmError> {
         } else if (0..=0xFFFF).contains(&v) {
             Ok(Ea::AbsW(v as u16))
         } else {
-            err(line, format!("absolute short address out of range in `{s}`"))
+            err(
+                line,
+                format!("absolute short address out of range in `{s}`"),
+            )
         };
     }
     err(line, format!("unrecognized operand `{s}`"))
@@ -273,7 +284,10 @@ fn parse_instr(
         if ops.len() == n {
             Ok(())
         } else {
-            err(line, format!("{op} expects {n} operand(s), got {}", ops.len()))
+            err(
+                line,
+                format!("{op} expects {n} operand(s), got {}", ops.len()),
+            )
         }
     };
 
@@ -291,7 +305,11 @@ fn parse_instr(
             let src = parse_ea(ops[0], line)?;
             let dst = parse_ea(ops[1], line)?;
             match dst {
-                Ea::A(a) => b.emit(Instr::Movea { size: sz, src, dst: a }),
+                Ea::A(a) => b.emit(Instr::Movea {
+                    size: sz,
+                    src,
+                    dst: a,
+                }),
                 _ if !dst.is_writable() => return err(line, "MOVE destination not writable"),
                 _ => b.emit(Instr::Move { size: sz, src, dst }),
             }
@@ -302,7 +320,11 @@ fn parse_instr(
             let Some(a) = parse_addr_reg(ops[1]) else {
                 return err(line, "MOVEA destination must be An");
             };
-            b.emit(Instr::Movea { size: sz, src, dst: a });
+            b.emit(Instr::Movea {
+                size: sz,
+                src,
+                dst: a,
+            });
         }
         "MOVEQ" => {
             need(2)?;
@@ -312,7 +334,10 @@ fn parse_instr(
             let Some(d) = parse_data_reg(ops[1]) else {
                 return err(line, "MOVEQ destination must be Dn");
             };
-            b.emit(Instr::Moveq { value: v as i8, dst: d });
+            b.emit(Instr::Moveq {
+                value: v as i8,
+                dst: d,
+            });
         }
         "LEA" => {
             need(2)?;
@@ -324,7 +349,10 @@ fn parse_instr(
         }
         "CLR" => {
             need(1)?;
-            b.emit(Instr::Clr { size: sz, dst: parse_ea(ops[0], line)? });
+            b.emit(Instr::Clr {
+                size: sz,
+                dst: parse_ea(ops[0], line)?,
+            });
         }
         "SWAP" => {
             need(1)?;
@@ -345,14 +373,46 @@ fn parse_instr(
             let src = parse_ea(ops[0], line)?;
             let dst = parse_ea(ops[1], line)?;
             match (src, dst, op.as_str()) {
-                (_, Ea::D(d), "ADD") => b.emit(Instr::Add { size: sz, src, dst: d }),
-                (_, Ea::D(d), "SUB") => b.emit(Instr::Sub { size: sz, src, dst: d }),
-                (_, Ea::D(d), "AND") => b.emit(Instr::And { size: sz, src, dst: d }),
-                (_, Ea::D(d), "OR") => b.emit(Instr::Or { size: sz, src, dst: d }),
-                (Ea::D(s), _, "ADD") => b.emit(Instr::AddTo { size: sz, src: s, dst }),
-                (Ea::D(s), _, "SUB") => b.emit(Instr::SubTo { size: sz, src: s, dst }),
-                (Ea::D(s), _, "OR") => b.emit(Instr::OrTo { size: sz, src: s, dst }),
-                (Ea::D(s), _, "EOR") => b.emit(Instr::Eor { size: sz, src: s, dst }),
+                (_, Ea::D(d), "ADD") => b.emit(Instr::Add {
+                    size: sz,
+                    src,
+                    dst: d,
+                }),
+                (_, Ea::D(d), "SUB") => b.emit(Instr::Sub {
+                    size: sz,
+                    src,
+                    dst: d,
+                }),
+                (_, Ea::D(d), "AND") => b.emit(Instr::And {
+                    size: sz,
+                    src,
+                    dst: d,
+                }),
+                (_, Ea::D(d), "OR") => b.emit(Instr::Or {
+                    size: sz,
+                    src,
+                    dst: d,
+                }),
+                (Ea::D(s), _, "ADD") => b.emit(Instr::AddTo {
+                    size: sz,
+                    src: s,
+                    dst,
+                }),
+                (Ea::D(s), _, "SUB") => b.emit(Instr::SubTo {
+                    size: sz,
+                    src: s,
+                    dst,
+                }),
+                (Ea::D(s), _, "OR") => b.emit(Instr::OrTo {
+                    size: sz,
+                    src: s,
+                    dst,
+                }),
+                (Ea::D(s), _, "EOR") => b.emit(Instr::Eor {
+                    size: sz,
+                    src: s,
+                    dst,
+                }),
                 _ => return err(line, format!("{op}: one operand must be a data register")),
             }
         }
@@ -365,9 +425,21 @@ fn parse_instr(
             // ADDA defaults to word on the 68000 assembler when unsuffixed; we
             // keep the explicit/default-word convention for all three.
             match op.as_str() {
-                "ADDA" => b.emit(Instr::Adda { size: sz, src, dst: a }),
-                "SUBA" => b.emit(Instr::Suba { size: sz, src, dst: a }),
-                _ => b.emit(Instr::Cmpa { size: sz, src, dst: a }),
+                "ADDA" => b.emit(Instr::Adda {
+                    size: sz,
+                    src,
+                    dst: a,
+                }),
+                "SUBA" => b.emit(Instr::Suba {
+                    size: sz,
+                    src,
+                    dst: a,
+                }),
+                _ => b.emit(Instr::Cmpa {
+                    size: sz,
+                    src,
+                    dst: a,
+                }),
             }
         }
         "ADDQ" | "SUBQ" => {
@@ -380,18 +452,32 @@ fn parse_instr(
             }
             let dst = parse_ea(ops[1], line)?;
             if op == "ADDQ" {
-                b.emit(Instr::Addq { size: sz, value: v as u8, dst });
+                b.emit(Instr::Addq {
+                    size: sz,
+                    value: v as u8,
+                    dst,
+                });
             } else {
-                b.emit(Instr::Subq { size: sz, value: v as u8, dst });
+                b.emit(Instr::Subq {
+                    size: sz,
+                    value: v as u8,
+                    dst,
+                });
             }
         }
         "NEG" => {
             need(1)?;
-            b.emit(Instr::Neg { size: sz, dst: parse_ea(ops[0], line)? });
+            b.emit(Instr::Neg {
+                size: sz,
+                dst: parse_ea(ops[0], line)?,
+            });
         }
         "NOT" => {
             need(1)?;
-            b.emit(Instr::Not { size: sz, dst: parse_ea(ops[0], line)? });
+            b.emit(Instr::Not {
+                size: sz,
+                dst: parse_ea(ops[0], line)?,
+            });
         }
         "MULU" | "MULS" | "DIVU" | "DIVS" => {
             need(2)?;
@@ -411,7 +497,10 @@ fn parse_instr(
             let Ea::Imm(v) = parse_ea(ops[0], line)? else {
                 return err(line, "BTST bit number must be immediate");
             };
-            b.emit(Instr::Btst { bit: v as u8, dst: parse_ea(ops[1], line)? });
+            b.emit(Instr::Btst {
+                bit: v as u8,
+                dst: parse_ea(ops[1], line)?,
+            });
         }
         "LSL" | "LSR" | "ASL" | "ASR" | "ROL" | "ROR" => {
             need(2)?;
@@ -432,14 +521,27 @@ fn parse_instr(
             let Some(d) = parse_data_reg(ops[1]) else {
                 return err(line, "shift destination must be Dn");
             };
-            b.emit(Instr::Shift { kind, size: sz, count, dst: d });
+            b.emit(Instr::Shift {
+                kind,
+                size: sz,
+                count,
+                dst: d,
+            });
         }
         "CMP" => {
             need(2)?;
             let src = parse_ea(ops[0], line)?;
             match parse_ea(ops[1], line)? {
-                Ea::D(d) => b.emit(Instr::Cmp { size: sz, src, dst: d }),
-                Ea::A(a) => b.emit(Instr::Cmpa { size: sz, src, dst: a }),
+                Ea::D(d) => b.emit(Instr::Cmp {
+                    size: sz,
+                    src,
+                    dst: d,
+                }),
+                Ea::A(a) => b.emit(Instr::Cmpa {
+                    size: sz,
+                    src,
+                    dst: a,
+                }),
                 _ => return err(line, "CMP destination must be a register"),
             }
         }
@@ -448,11 +550,18 @@ fn parse_instr(
             let Ea::Imm(v) = parse_ea(ops[0], line)? else {
                 return err(line, "CMPI source must be immediate");
             };
-            b.emit(Instr::Cmpi { size: sz, value: v, dst: parse_ea(ops[1], line)? });
+            b.emit(Instr::Cmpi {
+                size: sz,
+                value: v,
+                dst: parse_ea(ops[1], line)?,
+            });
         }
         "TST" => {
             need(1)?;
-            b.emit(Instr::Tst { size: sz, dst: parse_ea(ops[0], line)? });
+            b.emit(Instr::Tst {
+                size: sz,
+                dst: parse_ea(ops[0], line)?,
+            });
         }
         "DBRA" | "DBF" => {
             need(2)?;
@@ -523,7 +632,10 @@ fn parse_instr(
             let Ea::Imm(v) = parse_ea(ops[0], line)? else {
                 return err(line, "MARK operand must be immediate");
             };
-            b.emit(Instr::Mark { begin: op == "MARKB", phase: v as u8 });
+            b.emit(Instr::Mark {
+                begin: op == "MARKB",
+                phase: v as u8,
+            });
         }
         "HALT" => {
             need(0)?;

@@ -12,11 +12,10 @@
 
 use crate::operand::{Ea, Size};
 use crate::reg::{AddrReg, Ccr, DataReg};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Branch condition codes for `Bcc`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Cond {
     /// Always (i.e. `BRA`).
     True,
@@ -96,7 +95,7 @@ impl Cond {
 }
 
 /// Shift direction/kind for the shift/rotate group.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ShiftKind {
     /// Logical shift left.
     Lsl,
@@ -127,7 +126,7 @@ impl ShiftKind {
 
 /// Shift count: a 3-bit immediate (1–8, as in the 68000 quick form) or a data
 /// register whose value modulo 64 is used.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ShiftCount {
     Imm(u8),
     Reg(DataReg),
@@ -161,64 +160,185 @@ impl fmt::Display for ShiftCount {
 ///   [`Instr::StartPes`] — MC-side Fetch-Unit and orchestration operations.
 /// * [`Instr::Mark`] — zero-cost instrumentation delimiting the measured phases
 ///   (multiplication / communication / other) used for the Fig. 8–10 breakdowns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Instr {
     // --- data movement ---
-    Move { size: Size, src: Ea, dst: Ea },
-    Movea { size: Size, src: Ea, dst: AddrReg },
-    Moveq { value: i8, dst: DataReg },
-    Lea { src: Ea, dst: AddrReg },
-    Clr { size: Size, dst: Ea },
-    Swap { dst: DataReg },
+    Move {
+        size: Size,
+        src: Ea,
+        dst: Ea,
+    },
+    Movea {
+        size: Size,
+        src: Ea,
+        dst: AddrReg,
+    },
+    Moveq {
+        value: i8,
+        dst: DataReg,
+    },
+    Lea {
+        src: Ea,
+        dst: AddrReg,
+    },
+    Clr {
+        size: Size,
+        dst: Ea,
+    },
+    Swap {
+        dst: DataReg,
+    },
     /// Sign-extend byte→word (`size == Word`) or word→long (`size == Long`).
-    Ext { size: Size, dst: DataReg },
+    Ext {
+        size: Size,
+        dst: DataReg,
+    },
 
     // --- integer arithmetic ---
-    Add { size: Size, src: Ea, dst: DataReg },
-    AddTo { size: Size, src: DataReg, dst: Ea },
-    Adda { size: Size, src: Ea, dst: AddrReg },
-    Addq { size: Size, value: u8, dst: Ea },
-    Sub { size: Size, src: Ea, dst: DataReg },
-    SubTo { size: Size, src: DataReg, dst: Ea },
-    Suba { size: Size, src: Ea, dst: AddrReg },
-    Subq { size: Size, value: u8, dst: Ea },
-    Neg { size: Size, dst: Ea },
+    Add {
+        size: Size,
+        src: Ea,
+        dst: DataReg,
+    },
+    AddTo {
+        size: Size,
+        src: DataReg,
+        dst: Ea,
+    },
+    Adda {
+        size: Size,
+        src: Ea,
+        dst: AddrReg,
+    },
+    Addq {
+        size: Size,
+        value: u8,
+        dst: Ea,
+    },
+    Sub {
+        size: Size,
+        src: Ea,
+        dst: DataReg,
+    },
+    SubTo {
+        size: Size,
+        src: DataReg,
+        dst: Ea,
+    },
+    Suba {
+        size: Size,
+        src: Ea,
+        dst: AddrReg,
+    },
+    Subq {
+        size: Size,
+        value: u8,
+        dst: Ea,
+    },
+    Neg {
+        size: Size,
+        dst: Ea,
+    },
     /// Unsigned 16×16→32 multiply. Execution time is 38 + 2·ones(src): the
     /// *non-deterministic instruction time* the paper's experiments revolve around.
-    Mulu { src: Ea, dst: DataReg },
+    Mulu {
+        src: Ea,
+        dst: DataReg,
+    },
     /// Signed 16×16→32 multiply; time is 38 + 2·(bit transitions of src<<1).
-    Muls { src: Ea, dst: DataReg },
+    Muls {
+        src: Ea,
+        dst: DataReg,
+    },
     /// Unsigned 32÷16 divide (quotient in the low word, remainder in the high
     /// word of `dst`). The other famously data-dependent MC68000 instruction:
     /// its microcoded non-restoring divider takes 76–140 cycles depending on
     /// the quotient bit pattern (modeled as 76 + 4·zeros(quotient)).
-    Divu { src: Ea, dst: DataReg },
+    Divu {
+        src: Ea,
+        dst: DataReg,
+    },
     /// Signed 32÷16 divide; sign fix-ups add to the data-dependent core time.
-    Divs { src: Ea, dst: DataReg },
+    Divs {
+        src: Ea,
+        dst: DataReg,
+    },
 
     // --- logic & shifts ---
-    And { size: Size, src: Ea, dst: DataReg },
-    Or { size: Size, src: Ea, dst: DataReg },
-    OrTo { size: Size, src: DataReg, dst: Ea },
-    Eor { size: Size, src: DataReg, dst: Ea },
-    Not { size: Size, dst: Ea },
-    Shift { kind: ShiftKind, size: Size, count: ShiftCount, dst: DataReg },
+    And {
+        size: Size,
+        src: Ea,
+        dst: DataReg,
+    },
+    Or {
+        size: Size,
+        src: Ea,
+        dst: DataReg,
+    },
+    OrTo {
+        size: Size,
+        src: DataReg,
+        dst: Ea,
+    },
+    Eor {
+        size: Size,
+        src: DataReg,
+        dst: Ea,
+    },
+    Not {
+        size: Size,
+        dst: Ea,
+    },
+    Shift {
+        kind: ShiftKind,
+        size: Size,
+        count: ShiftCount,
+        dst: DataReg,
+    },
     /// Bit test: set `Z` from bit `bit` of `dst` (long for registers, byte for
     /// memory, as on the 68000). A tighter status-poll idiom than `AND`.
-    Btst { bit: u8, dst: Ea },
+    Btst {
+        bit: u8,
+        dst: Ea,
+    },
 
     // --- compares ---
-    Cmp { size: Size, src: Ea, dst: DataReg },
-    Cmpa { size: Size, src: Ea, dst: AddrReg },
-    Cmpi { size: Size, value: u32, dst: Ea },
-    Tst { size: Size, dst: Ea },
+    Cmp {
+        size: Size,
+        src: Ea,
+        dst: DataReg,
+    },
+    Cmpa {
+        size: Size,
+        src: Ea,
+        dst: AddrReg,
+    },
+    Cmpi {
+        size: Size,
+        value: u32,
+        dst: Ea,
+    },
+    Tst {
+        size: Size,
+        dst: Ea,
+    },
 
     // --- control flow (targets are instruction indices) ---
-    Bcc { cond: Cond, target: usize },
+    Bcc {
+        cond: Cond,
+        target: usize,
+    },
     /// `DBRA Dn,label`: decrement the low word of `Dn`; branch unless it becomes −1.
-    Dbra { dst: DataReg, target: usize },
-    Jmp { target: usize },
-    Jsr { target: usize },
+    Dbra {
+        dst: DataReg,
+        target: usize,
+    },
+    Jmp {
+        target: usize,
+    },
+    Jsr {
+        target: usize,
+    },
     Rts,
     Nop,
 
@@ -226,19 +346,30 @@ pub enum Instr {
     /// PE only: enter SIMD mode (jump into the SIMD instruction space).
     JmpSimd,
     /// Broadcast only: leave SIMD mode and resume the PE program at `target`.
-    JmpMimd { target: usize },
+    JmpMimd {
+        target: usize,
+    },
     /// PE only: barrier-synchronizing read of one word from SIMD space.
     Barrier,
     /// MC only: write the Fetch Unit mask register (bit *k* enables PE *k* of the group).
-    SetMask { mask: u16 },
+    SetMask {
+        mask: u16,
+    },
     /// MC only: command the Fetch Unit controller to enqueue SIMD block `block`.
-    Enqueue { block: u16 },
+    Enqueue {
+        block: u16,
+    },
     /// MC only: enqueue `count` arbitrary data words for barrier synchronization.
-    EnqueueWords { count: u16 },
+    EnqueueWords {
+        count: u16,
+    },
     /// MC only: release the (stopped) PEs of this group to run their MIMD programs.
     StartPes,
     /// Zero-cost instrumentation marker (phase accounting).
-    Mark { begin: bool, phase: u8 },
+    Mark {
+        begin: bool,
+        phase: u8,
+    },
     /// Stop this processor.
     Halt,
 }
@@ -266,10 +397,12 @@ impl Instr {
             | Instr::SubTo { size, dst, .. }
             | Instr::OrTo { size, dst, .. }
             | Instr::Eor { size, dst, .. } => 1 + dst.ext_words(size),
-            Instr::Adda { size, src, .. } | Instr::Suba { size, src, .. } | Instr::Cmpa { size, src, .. } => {
-                1 + src.ext_words(size)
+            Instr::Adda { size, src, .. }
+            | Instr::Suba { size, src, .. }
+            | Instr::Cmpa { size, src, .. } => 1 + src.ext_words(size),
+            Instr::Addq { size, dst, .. } | Instr::Subq { size, dst, .. } => {
+                1 + dst.ext_words(size)
             }
-            Instr::Addq { size, dst, .. } | Instr::Subq { size, dst, .. } => 1 + dst.ext_words(size),
             Instr::Neg { size, dst } | Instr::Not { size, dst } => 1 + dst.ext_words(size),
             Instr::Mulu { src, .. }
             | Instr::Muls { src, .. }
@@ -278,9 +411,7 @@ impl Instr {
             Instr::Shift { .. } => 1,
             // Static bit number travels in an extension word.
             Instr::Btst { dst, .. } => 2 + dst.ext_words(Size::Byte),
-            Instr::Cmpi { size, dst, .. } => {
-                1 + Ea::Imm(0).ext_words(size) + dst.ext_words(size)
-            }
+            Instr::Cmpi { size, dst, .. } => 1 + Ea::Imm(0).ext_words(size) + dst.ext_words(size),
             Instr::Tst { size, dst } => 1 + dst.ext_words(size),
             // Word-displacement forms.
             Instr::Bcc { .. } | Instr::Dbra { .. } => 2,
@@ -383,7 +514,12 @@ impl fmt::Display for Instr {
             Instr::OrTo { size, src, dst } => write!(f, "OR{size} {src},{dst}"),
             Instr::Eor { size, src, dst } => write!(f, "EOR{size} {src},{dst}"),
             Instr::Not { size, dst } => write!(f, "NOT{size} {dst}"),
-            Instr::Shift { kind, size, count, dst } => {
+            Instr::Shift {
+                kind,
+                size,
+                count,
+                dst,
+            } => {
                 write!(f, "{}{size} {count},{dst}", kind.mnemonic())
             }
             Instr::Cmp { size, src, dst } => write!(f, "CMP{size} {src},{dst}"),
@@ -426,25 +562,61 @@ mod tests {
         assert!(Cond::Eq.eval(ccr));
         assert!(Cond::Le.eval(ccr));
         assert!(!Cond::Gt.eval(ccr));
-        ccr = Ccr { n: true, v: false, ..Ccr::CLEAR };
+        ccr = Ccr {
+            n: true,
+            v: false,
+            ..Ccr::CLEAR
+        };
         assert!(Cond::Lt.eval(ccr));
         assert!(!Cond::Ge.eval(ccr));
-        ccr = Ccr { n: true, v: true, ..Ccr::CLEAR };
+        ccr = Ccr {
+            n: true,
+            v: true,
+            ..Ccr::CLEAR
+        };
         assert!(Cond::Ge.eval(ccr));
-        ccr = Ccr { c: true, ..Ccr::CLEAR };
+        ccr = Ccr {
+            c: true,
+            ..Ccr::CLEAR
+        };
         assert!(Cond::Cs.eval(ccr) && Cond::Ls.eval(ccr) && !Cond::Hi.eval(ccr));
     }
 
     #[test]
     fn word_counts_follow_extension_words() {
-        let i = Instr::Move { size: Size::Word, src: Ea::PostInc(A0), dst: Ea::D(D0) };
+        let i = Instr::Move {
+            size: Size::Word,
+            src: Ea::PostInc(A0),
+            dst: Ea::D(D0),
+        };
         assert_eq!(i.words(), 1);
-        let i = Instr::Move { size: Size::Word, src: Ea::Imm(7), dst: Ea::AbsL(0x1000) };
+        let i = Instr::Move {
+            size: Size::Word,
+            src: Ea::Imm(7),
+            dst: Ea::AbsL(0x1000),
+        };
         assert_eq!(i.words(), 4); // op + imm + 2 abs.L words
-        let i = Instr::Mulu { src: Ea::D(D1), dst: D0 };
+        let i = Instr::Mulu {
+            src: Ea::D(D1),
+            dst: D0,
+        };
         assert_eq!(i.words(), 1);
-        assert_eq!(Instr::Bcc { cond: Cond::Ne, target: 0 }.words(), 2);
-        assert_eq!(Instr::Mark { begin: true, phase: 0 }.words(), 0);
+        assert_eq!(
+            Instr::Bcc {
+                cond: Cond::Ne,
+                target: 0
+            }
+            .words(),
+            2
+        );
+        assert_eq!(
+            Instr::Mark {
+                begin: true,
+                phase: 0
+            }
+            .words(),
+            0
+        );
     }
 
     #[test]
@@ -458,7 +630,10 @@ mod tests {
 
     #[test]
     fn set_target_rewrites() {
-        let mut i = Instr::Bcc { cond: Cond::Eq, target: 0 };
+        let mut i = Instr::Bcc {
+            cond: Cond::Eq,
+            target: 0,
+        };
         i.set_target(42);
         assert_eq!(i.target(), Some(42));
     }
@@ -472,9 +647,16 @@ mod tests {
 
     #[test]
     fn display_smoke() {
-        let i = Instr::Mulu { src: Ea::D(D1), dst: D0 };
+        let i = Instr::Mulu {
+            src: Ea::D(D1),
+            dst: D0,
+        };
         assert_eq!(i.to_string(), "MULU D1,D0");
-        let i = Instr::Move { size: Size::Word, src: Ea::PostInc(A0), dst: Ea::D(D2) };
+        let i = Instr::Move {
+            size: Size::Word,
+            src: Ea::PostInc(A0),
+            dst: Ea::D(D2),
+        };
         assert_eq!(i.to_string(), "MOVE.W (A0)+,D2");
     }
 }

@@ -1,12 +1,11 @@
 //! Operand sizes and effective-address (addressing) modes.
 
 use crate::reg::{AddrReg, DataReg};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Operation size: byte, word (16-bit, the natural size of the experiments'
 /// integer data), or long (32-bit).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Size {
     Byte,
     Word,
@@ -101,7 +100,7 @@ impl fmt::Display for Size {
 /// was done with "the MC68000's auto-increment mode", which adds no extra
 /// execution time over the plain indirect mode on stores (and 4 cycles on loads,
 /// already included in the timing tables).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Ea {
     /// Data register direct: `Dn`.
     D(DataReg),

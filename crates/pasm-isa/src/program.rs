@@ -8,7 +8,6 @@
 //! is simply an indexed `Vec<Instr>` referenced by [`crate::Instr::Enqueue`].
 
 use crate::instr::Instr;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -17,7 +16,7 @@ use std::fmt;
 pub struct Label(usize);
 
 /// Identifier of a SIMD instruction block within a program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BlockId(pub u16);
 
 /// Errors surfaced when finalizing a program.
@@ -37,7 +36,10 @@ impl fmt::Display for BuildError {
             BuildError::UnboundLabel(n) => write!(f, "label `{n}` referenced but never bound"),
             BuildError::DuplicateLabel(n) => write!(f, "label `{n}` bound more than once"),
             BuildError::TargetOutOfRange { instr, target } => {
-                write!(f, "instruction {instr} branches to out-of-range index {target}")
+                write!(
+                    f,
+                    "instruction {instr} branches to out-of-range index {target}"
+                )
             }
         }
     }
@@ -46,7 +48,7 @@ impl fmt::Display for BuildError {
 impl std::error::Error for BuildError {}
 
 /// A finalized program: main instruction stream + SIMD blocks + debug symbols.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Program {
     /// The main instruction stream (a PE's MIMD program, or an MC's control program).
     pub instrs: Vec<Instr>,
@@ -84,12 +86,18 @@ impl Program {
             if let Some(t) = ins.target() {
                 // `JmpMimd` in the main stream would also be odd, but harmless.
                 if t > self.instrs.len() {
-                    return Err(BuildError::TargetOutOfRange { instr: i, target: t });
+                    return Err(BuildError::TargetOutOfRange {
+                        instr: i,
+                        target: t,
+                    });
                 }
             }
             if let Instr::Enqueue { block } = ins {
                 if *block as usize >= self.blocks.len() {
-                    return Err(BuildError::TargetOutOfRange { instr: i, target: *block as usize });
+                    return Err(BuildError::TargetOutOfRange {
+                        instr: i,
+                        target: *block as usize,
+                    });
                 }
             }
         }
@@ -186,8 +194,15 @@ impl ProgramBuilder {
     /// Labels always denote main-stream positions (a `JmpMimd` inside a block
     /// targets the PE's own program), so binding while inside a block is a bug.
     pub fn bind(&mut self, l: Label) {
-        assert!(self.current_block.is_none(), "cannot bind a label inside a SIMD block");
-        assert!(self.bound[l.0].is_none(), "label `{}` bound twice", self.label_names[l.0]);
+        assert!(
+            self.current_block.is_none(),
+            "cannot bind a label inside a SIMD block"
+        );
+        assert!(
+            self.bound[l.0].is_none(),
+            "label `{}` bound twice",
+            self.label_names[l.0]
+        );
         self.bound[l.0] = Some(self.instrs.len());
     }
 
@@ -216,7 +231,10 @@ impl ProgramBuilder {
     /// Emit a branch-family instruction whose target will be patched to `l`.
     /// The `target` field of the passed instruction is ignored.
     pub fn branch(&mut self, i: Instr, l: Label) {
-        assert!(i.target().is_some(), "branch() needs an instruction with a target: {i}");
+        assert!(
+            i.target().is_some(),
+            "branch() needs an instruction with a target: {i}"
+        );
         let loc = match self.current_block {
             None => Loc::Main(self.instrs.len()),
             Some(b) => Loc::Block(b, self.blocks[b].len()),
@@ -236,7 +254,10 @@ impl ProgramBuilder {
 
     /// Close the currently open SIMD block.
     pub fn end_block(&mut self) {
-        assert!(self.current_block.is_some(), "end_block without begin_block");
+        assert!(
+            self.current_block.is_some(),
+            "end_block without begin_block"
+        );
         self.current_block = None;
     }
 
@@ -247,7 +268,10 @@ impl ProgramBuilder {
 
     /// Finalize: resolve all label fixups and validate.
     pub fn build(mut self) -> Result<Program, BuildError> {
-        assert!(self.current_block.is_none(), "unclosed SIMD block at build()");
+        assert!(
+            self.current_block.is_none(),
+            "unclosed SIMD block at build()"
+        );
         for (loc, l) in self.fixups.drain(..) {
             let target = self.bound[l.0]
                 .ok_or_else(|| BuildError::UnboundLabel(self.label_names[l.0].clone()))?;
@@ -262,7 +286,11 @@ impl ProgramBuilder {
             .zip(&self.bound)
             .filter_map(|(n, b)| b.map(|idx| (n.clone(), idx)))
             .collect();
-        let p = Program { instrs: self.instrs, blocks: self.blocks, symbols };
+        let p = Program {
+            instrs: self.instrs,
+            blocks: self.blocks,
+            symbols,
+        };
         p.validate()?;
         Ok(p)
     }
@@ -279,8 +307,20 @@ mod tests {
         let fwd = b.new_label("fwd");
         let back = b.here("back");
         b.emit(Instr::Nop);
-        b.branch(Instr::Bcc { cond: Cond::Eq, target: 0 }, fwd);
-        b.branch(Instr::Bcc { cond: Cond::True, target: 0 }, back);
+        b.branch(
+            Instr::Bcc {
+                cond: Cond::Eq,
+                target: 0,
+            },
+            fwd,
+        );
+        b.branch(
+            Instr::Bcc {
+                cond: Cond::True,
+                target: 0,
+            },
+            back,
+        );
         b.bind(fwd);
         b.emit(Instr::Halt);
         let p = b.build().unwrap();
@@ -295,7 +335,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let l = b.new_label("nowhere");
         b.branch(Instr::Jmp { target: 0 }, l);
-        assert_eq!(b.build().unwrap_err(), BuildError::UnboundLabel("nowhere".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::UnboundLabel("nowhere".into())
+        );
     }
 
     #[test]
@@ -331,7 +374,10 @@ mod tests {
             blocks: vec![],
             symbols: BTreeMap::new(),
         };
-        assert!(matches!(p.validate(), Err(BuildError::TargetOutOfRange { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(BuildError::TargetOutOfRange { .. })
+        ));
     }
 
     #[test]

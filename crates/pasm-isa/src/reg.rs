@@ -1,10 +1,9 @@
 //! Register file definitions: data registers, address registers, condition codes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the eight MC68000 data registers `D0`–`D7`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DataReg {
     D0,
     D1,
@@ -48,7 +47,7 @@ impl fmt::Display for DataReg {
 }
 
 /// One of the eight MC68000 address registers `A0`–`A7` (`A7` is the stack pointer).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AddrReg {
     A0,
     A1,
@@ -101,7 +100,7 @@ impl fmt::Display for AddrReg {
 /// * `z` — zero: result was zero,
 /// * `v` — overflow: signed arithmetic overflow,
 /// * `c` — carry/borrow.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Ccr {
     pub x: bool,
     pub n: bool,
@@ -112,7 +111,13 @@ pub struct Ccr {
 
 impl Ccr {
     /// All flags cleared.
-    pub const CLEAR: Ccr = Ccr { x: false, n: false, z: false, v: false, c: false };
+    pub const CLEAR: Ccr = Ccr {
+        x: false,
+        n: false,
+        z: false,
+        v: false,
+        c: false,
+    };
 
     /// Set `N` and `Z` from a result value of the given size; clear `V` and `C`.
     /// This is the flag behaviour of `MOVE`, `AND`, `OR`, `EOR`, `MULU`, `CLR`, `TST`.

@@ -260,7 +260,9 @@ fn single_operand(size: Size, dst: Ea, reg_b_w: u32, reg_l: u32) -> u32 {
 /// memory. The machine simulator layers memory wait states on top.
 pub fn base_cycles(instr: &Instr, ctx: ExecCtx) -> u32 {
     match *instr {
-        Instr::Move { size, src, dst } => 4 + ea_fetch_cycles(src, size) + move_dst_cycles(dst, size),
+        Instr::Move { size, src, dst } => {
+            4 + ea_fetch_cycles(src, size) + move_dst_cycles(dst, size)
+        }
         Instr::Movea { size, src, .. } => 4 + ea_fetch_cycles(src, size),
         Instr::Moveq { .. } => 4,
         Instr::Lea { src, .. } => lea_cycles(src),
@@ -305,8 +307,12 @@ pub fn base_cycles(instr: &Instr, ctx: ExecCtx) -> u32 {
             }
         }
         Instr::Neg { size, dst } | Instr::Not { size, dst } => single_operand(size, dst, 4, 6),
-        Instr::Mulu { src, .. } => mulu_cycles(ctx.src_value as u16) + ea_fetch_cycles(src, Size::Word),
-        Instr::Muls { src, .. } => muls_cycles(ctx.src_value as u16) + ea_fetch_cycles(src, Size::Word),
+        Instr::Mulu { src, .. } => {
+            mulu_cycles(ctx.src_value as u16) + ea_fetch_cycles(src, Size::Word)
+        }
+        Instr::Muls { src, .. } => {
+            muls_cycles(ctx.src_value as u16) + ea_fetch_cycles(src, Size::Word)
+        }
         Instr::Divu { src, .. } => {
             divu_cycles(ctx.dst_value, ctx.src_value as u16) + ea_fetch_cycles(src, Size::Word)
         }
@@ -349,8 +355,16 @@ pub fn base_cycles(instr: &Instr, ctx: ExecCtx) -> u32 {
                 }
             }
         }
-        Instr::Tst { size, dst } => 4 + if dst.is_register() { 0 } else { ea_fetch_cycles(dst, size) },
-        Instr::Bcc { cond: Cond::True, .. } => 10, // BRA
+        Instr::Tst { size, dst } => {
+            4 + if dst.is_register() {
+                0
+            } else {
+                ea_fetch_cycles(dst, size)
+            }
+        }
+        Instr::Bcc {
+            cond: Cond::True, ..
+        } => 10, // BRA
         Instr::Bcc { .. } => bcc_cycles(ctx.branch_taken),
         Instr::Dbra { .. } => dbra_cycles(ctx.loop_expired),
         Instr::Jmp { .. } => 10,
@@ -401,9 +415,9 @@ pub fn data_accesses(instr: &Instr) -> u32 {
         | Instr::SubTo { size, dst, .. }
         | Instr::OrTo { size, dst, .. }
         | Instr::Eor { size, dst, .. } => rmw(dst, size),
-        Instr::Adda { size, src, .. } | Instr::Suba { size, src, .. } | Instr::Cmpa { size, src, .. } => {
-            rd(src, size)
-        }
+        Instr::Adda { size, src, .. }
+        | Instr::Suba { size, src, .. }
+        | Instr::Cmpa { size, src, .. } => rd(src, size),
         Instr::Addq { size, dst, .. } | Instr::Subq { size, dst, .. } => rmw(dst, size),
         Instr::Neg { size, dst } | Instr::Not { size, dst } => rmw(dst, size),
         Instr::Mulu { src, .. }
@@ -413,9 +427,9 @@ pub fn data_accesses(instr: &Instr) -> u32 {
         Instr::Shift { .. } => 0,
         Instr::Btst { dst, .. } => rd(dst, Size::Byte),
         Instr::Cmpi { size, dst, .. } | Instr::Tst { size, dst } => rd(dst, size),
-        Instr::Jsr { .. } => 2,        // push return address (long)
-        Instr::Rts => 2,               // pop return address
-        Instr::Barrier => 1,           // one word read from SIMD space
+        Instr::Jsr { .. } => 2, // push return address (long)
+        Instr::Rts => 2,        // pop return address
+        Instr::Barrier => 1,    // one word read from SIMD space
         _ => 0,
     }
 }
@@ -453,16 +467,32 @@ mod tests {
     fn move_timing_matches_manual_examples() {
         let ctx = ExecCtx::default();
         // MOVE.W D0,D1 = 4
-        let i = Instr::Move { size: Size::Word, src: Ea::D(D0), dst: Ea::D(D1) };
+        let i = Instr::Move {
+            size: Size::Word,
+            src: Ea::D(D0),
+            dst: Ea::D(D1),
+        };
         assert_eq!(base_cycles(&i, ctx), 4);
         // MOVE.W (A0),D1 = 8
-        let i = Instr::Move { size: Size::Word, src: Ea::Ind(A0), dst: Ea::D(D1) };
+        let i = Instr::Move {
+            size: Size::Word,
+            src: Ea::Ind(A0),
+            dst: Ea::D(D1),
+        };
         assert_eq!(base_cycles(&i, ctx), 8);
         // MOVE.W (A0)+,(A1)+ = 12
-        let i = Instr::Move { size: Size::Word, src: Ea::PostInc(A0), dst: Ea::PostInc(A1) };
+        let i = Instr::Move {
+            size: Size::Word,
+            src: Ea::PostInc(A0),
+            dst: Ea::PostInc(A1),
+        };
         assert_eq!(base_cycles(&i, ctx), 12);
         // MOVE.L d(A0),d(A1) = 4 + 12 + 12 = 28
-        let i = Instr::Move { size: Size::Long, src: Ea::Disp(4, A0), dst: Ea::Disp(8, A1) };
+        let i = Instr::Move {
+            size: Size::Long,
+            src: Ea::Disp(4, A0),
+            dst: Ea::Disp(8, A1),
+        };
         assert_eq!(base_cycles(&i, ctx), 28);
     }
 
@@ -470,24 +500,47 @@ mod tests {
     fn alu_timing_examples() {
         let ctx = ExecCtx::default();
         // ADD.W (A0)+,D0 = 8
-        let i = Instr::Add { size: Size::Word, src: Ea::PostInc(A0), dst: D0 };
+        let i = Instr::Add {
+            size: Size::Word,
+            src: Ea::PostInc(A0),
+            dst: D0,
+        };
         assert_eq!(base_cycles(&i, ctx), 8);
         // ADD.W D0,(A1) = 12 (read-modify-write)
-        let i = Instr::AddTo { size: Size::Word, src: D0, dst: Ea::Ind(A1) };
+        let i = Instr::AddTo {
+            size: Size::Word,
+            src: D0,
+            dst: Ea::Ind(A1),
+        };
         assert_eq!(base_cycles(&i, ctx), 12);
         // ADDQ.W #1,D0 = 4; ADDQ to An = 8
-        let i = Instr::Addq { size: Size::Word, value: 1, dst: Ea::D(D0) };
+        let i = Instr::Addq {
+            size: Size::Word,
+            value: 1,
+            dst: Ea::D(D0),
+        };
         assert_eq!(base_cycles(&i, ctx), 4);
-        let i = Instr::Addq { size: Size::Word, value: 1, dst: Ea::A(A0) };
+        let i = Instr::Addq {
+            size: Size::Word,
+            value: 1,
+            dst: Ea::A(A0),
+        };
         assert_eq!(base_cycles(&i, ctx), 8);
         // ADDA.W D0,A0 = 8
-        let i = Instr::Adda { size: Size::Word, src: Ea::D(D0), dst: A0 };
+        let i = Instr::Adda {
+            size: Size::Word,
+            src: Ea::D(D0),
+            dst: A0,
+        };
         assert_eq!(base_cycles(&i, ctx), 8);
     }
 
     #[test]
     fn shift_and_branch_timing() {
-        let ctx = ExecCtx { shift_count: 8, ..Default::default() };
+        let ctx = ExecCtx {
+            shift_count: 8,
+            ..Default::default()
+        };
         let i = Instr::Shift {
             kind: ShiftKind::Lsr,
             size: Size::Word,
@@ -512,26 +565,50 @@ mod tests {
     #[test]
     fn mulu_timing_includes_ea() {
         // MULU (A0),D0 with source value 0xF = 38 + 8 + 4(ea) = 50.
-        let ctx = ExecCtx { src_value: 0xF, ..Default::default() };
-        let i = Instr::Mulu { src: Ea::Ind(A0), dst: D0 };
+        let ctx = ExecCtx {
+            src_value: 0xF,
+            ..Default::default()
+        };
+        let i = Instr::Mulu {
+            src: Ea::Ind(A0),
+            dst: D0,
+        };
         assert_eq!(base_cycles(&i, ctx), 38 + 8 + 4);
     }
 
     #[test]
     fn data_access_counts() {
-        let i = Instr::Move { size: Size::Word, src: Ea::PostInc(A0), dst: Ea::PostInc(A1) };
+        let i = Instr::Move {
+            size: Size::Word,
+            src: Ea::PostInc(A0),
+            dst: Ea::PostInc(A1),
+        };
         assert_eq!(data_accesses(&i), 2);
-        let i = Instr::AddTo { size: Size::Word, src: D0, dst: Ea::Ind(A1) };
+        let i = Instr::AddTo {
+            size: Size::Word,
+            src: D0,
+            dst: Ea::Ind(A1),
+        };
         assert_eq!(data_accesses(&i), 2); // read + write
-        let i = Instr::Move { size: Size::Long, src: Ea::Ind(A0), dst: Ea::D(D0) };
+        let i = Instr::Move {
+            size: Size::Long,
+            src: Ea::Ind(A0),
+            dst: Ea::D(D0),
+        };
         assert_eq!(data_accesses(&i), 2); // two bus accesses for a long read
-        let i = Instr::Mulu { src: Ea::D(D1), dst: D0 };
+        let i = Instr::Mulu {
+            src: Ea::D(D1),
+            dst: D0,
+        };
         assert_eq!(data_accesses(&i), 0);
     }
 
     #[test]
     fn mark_is_free() {
-        let i = Instr::Mark { begin: true, phase: 1 };
+        let i = Instr::Mark {
+            begin: true,
+            phase: 1,
+        };
         assert_eq!(base_cycles(&i, ExecCtx::default()), 0);
         assert_eq!(i.words(), 0);
         assert_eq!(data_accesses(&i), 0);

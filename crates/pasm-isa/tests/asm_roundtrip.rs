@@ -1,134 +1,214 @@
-//! Property test: for the branch-free subset of the ISA, the disassembly
+//! Randomized test: for the branch-free subset of the ISA, the disassembly
 //! (`Display`) of any instruction re-assembles to the same instruction.
 //! (Branches print numeric targets rather than label names, so they are
 //! exercised by the unit tests instead.)
+//!
+//! Formerly a `proptest` suite; rewritten over `pasm_util::Rng` with a fixed
+//! seed so the workspace builds offline (ISSUE 2). 2048 random instructions
+//! cover every constructor below many times over.
 
 use pasm_isa::asm::assemble;
 use pasm_isa::{AddrReg, DataReg, Ea, Instr, ShiftCount, ShiftKind, Size};
-use proptest::prelude::*;
+use pasm_util::Rng;
 
-fn data_reg() -> impl Strategy<Value = DataReg> {
-    (0usize..8).prop_map(|i| DataReg::from_index(i).unwrap())
+fn data_reg(rng: &mut Rng) -> DataReg {
+    DataReg::from_index(rng.gen_range(8)).unwrap()
 }
 
-fn addr_reg() -> impl Strategy<Value = AddrReg> {
-    (0usize..8).prop_map(|i| AddrReg::from_index(i).unwrap())
+fn addr_reg(rng: &mut Rng) -> AddrReg {
+    AddrReg::from_index(rng.gen_range(8)).unwrap()
 }
 
 /// Any addressing mode the assembler can parse back from its display form.
-fn ea() -> impl Strategy<Value = Ea> {
-    prop_oneof![
-        data_reg().prop_map(Ea::D),
-        addr_reg().prop_map(Ea::A),
-        addr_reg().prop_map(Ea::Ind),
-        addr_reg().prop_map(Ea::PostInc),
-        addr_reg().prop_map(Ea::PreDec),
-        (any::<i16>(), addr_reg()).prop_map(|(d, a)| Ea::Disp(d, a)),
-        (0u16..=0xFFFE).prop_map(|v| Ea::AbsW(v & !1)),
-        (0u32..=0x00FF_FFFE).prop_map(|v| Ea::AbsL(v & !1)),
-        any::<u16>().prop_map(|v| Ea::Imm(v as u32)),
-    ]
+fn ea(rng: &mut Rng) -> Ea {
+    match rng.gen_range(9) {
+        0 => Ea::D(data_reg(rng)),
+        1 => Ea::A(addr_reg(rng)),
+        2 => Ea::Ind(addr_reg(rng)),
+        3 => Ea::PostInc(addr_reg(rng)),
+        4 => Ea::PreDec(addr_reg(rng)),
+        5 => Ea::Disp(rng.gen_u16() as i16, addr_reg(rng)),
+        6 => Ea::AbsW(rng.gen_u16() & 0xFFFE),
+        7 => Ea::AbsL((rng.gen_u32() & 0x00FF_FFFF) & !1),
+        _ => Ea::Imm(rng.gen_u16() as u32),
+    }
 }
 
-fn mem_or_reg_writable() -> impl Strategy<Value = Ea> {
-    ea().prop_filter("writable", |e| e.is_writable())
+fn writable_ea(rng: &mut Rng) -> Ea {
+    loop {
+        let e = ea(rng);
+        if e.is_writable() {
+            return e;
+        }
+    }
 }
 
-fn size() -> impl Strategy<Value = Size> {
-    prop_oneof![Just(Size::Byte), Just(Size::Word), Just(Size::Long)]
+fn btst_ea(rng: &mut Rng) -> Ea {
+    loop {
+        let e = ea(rng);
+        if !matches!(e, Ea::Imm(_) | Ea::A(_)) {
+            return e;
+        }
+    }
 }
 
-fn shift_kind() -> impl Strategy<Value = ShiftKind> {
-    prop_oneof![
-        Just(ShiftKind::Lsl),
-        Just(ShiftKind::Lsr),
-        Just(ShiftKind::Asl),
-        Just(ShiftKind::Asr),
-        Just(ShiftKind::Rol),
-        Just(ShiftKind::Ror),
-    ]
+fn size(rng: &mut Rng) -> Size {
+    [Size::Byte, Size::Word, Size::Long][rng.gen_range(3)]
 }
 
-/// Branch-free instructions whose display is assembler-compatible.
-fn roundtrippable() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (size(), ea(), mem_or_reg_writable()).prop_map(|(s, src, dst)| {
-            match dst {
+fn word_or_long(rng: &mut Rng) -> Size {
+    [Size::Word, Size::Long][rng.gen_range(2)]
+}
+
+fn shift_kind(rng: &mut Rng) -> ShiftKind {
+    [
+        ShiftKind::Lsl,
+        ShiftKind::Lsr,
+        ShiftKind::Asl,
+        ShiftKind::Asr,
+        ShiftKind::Rol,
+        ShiftKind::Ror,
+    ][rng.gen_range(6)]
+}
+
+/// One random branch-free instruction whose display is assembler-compatible.
+fn roundtrippable(rng: &mut Rng) -> Instr {
+    match rng.gen_range(24) {
+        0 => {
+            let s = size(rng);
+            let src = ea(rng);
+            match writable_ea(rng) {
                 // MOVE to An prints as MOVEA and must stay a word/long op.
                 Ea::A(a) => Instr::Movea {
                     size: if s == Size::Byte { Size::Word } else { s },
                     src,
                     dst: a,
                 },
-                _ => Instr::Move { size: s, src, dst },
+                dst => Instr::Move { size: s, src, dst },
             }
-        }),
-        (any::<i8>(), data_reg()).prop_map(|(v, d)| Instr::Moveq { value: v, dst: d }),
-        (size(), mem_or_reg_writable()).prop_map(|(s, d)| Instr::Clr { size: s, dst: d }),
-        data_reg().prop_map(|d| Instr::Swap { dst: d }),
-        (size(), ea(), data_reg()).prop_map(|(s, src, dst)| Instr::Add { size: s, src, dst }),
-        (size(), ea(), data_reg()).prop_map(|(s, src, dst)| Instr::Sub { size: s, src, dst }),
-        (size(), ea(), addr_reg()).prop_map(|(s, src, dst)| Instr::Adda {
-            size: if s == Size::Byte { Size::Word } else { s },
-            src,
-            dst
-        }),
-        (size(), 1u8..=8, data_reg())
-            .prop_map(|(s, v, d)| Instr::Addq { size: s, value: v, dst: Ea::D(d) }),
-        (ea(), data_reg()).prop_map(|(src, dst)| Instr::Mulu { src, dst }),
-        (ea(), data_reg()).prop_map(|(src, dst)| Instr::Muls { src, dst }),
-        (ea(), data_reg()).prop_map(|(src, dst)| Instr::Divu { src, dst }),
-        (ea(), data_reg()).prop_map(|(src, dst)| Instr::Divs { src, dst }),
-        (size(), ea(), data_reg()).prop_map(|(s, src, dst)| Instr::And { size: s, src, dst }),
-        (size(), ea(), data_reg()).prop_map(|(s, src, dst)| Instr::Or { size: s, src, dst }),
-        (size(), mem_or_reg_writable()).prop_map(|(s, d)| Instr::Not { size: s, dst: d }),
-        (size(), mem_or_reg_writable()).prop_map(|(s, d)| Instr::Neg { size: s, dst: d }),
-        (shift_kind(), size(), 1u8..=8, data_reg()).prop_map(|(k, s, n, d)| Instr::Shift {
-            kind: k,
-            size: s,
-            count: ShiftCount::Imm(n),
-            dst: d
-        }),
-        (shift_kind(), size(), data_reg(), data_reg()).prop_map(|(k, s, c, d)| Instr::Shift {
-            kind: k,
-            size: s,
-            count: ShiftCount::Reg(c),
-            dst: d
-        }),
-        (size(), ea(), data_reg()).prop_map(|(s, src, dst)| Instr::Cmp { size: s, src, dst }),
-        (0u8..16, ea().prop_filter("btst dst", |e| !matches!(e, Ea::Imm(_) | Ea::A(_))))
-            .prop_map(|(bit, dst)| Instr::Btst { bit, dst }),
-        (size(), mem_or_reg_writable()).prop_map(|(s, d)| Instr::Tst { size: s, dst: d }),
-        Just(Instr::Nop),
-        Just(Instr::Rts),
-        Just(Instr::Halt),
-        Just(Instr::JmpSimd),
-        Just(Instr::Barrier),
-        any::<u16>().prop_map(|m| Instr::SetMask { mask: m }),
-        Just(Instr::StartPes),
-    ]
+        }
+        1 => Instr::Moveq {
+            value: rng.gen_u16() as i8,
+            dst: data_reg(rng),
+        },
+        2 => Instr::Clr {
+            size: size(rng),
+            dst: writable_ea(rng),
+        },
+        3 => Instr::Swap { dst: data_reg(rng) },
+        4 => Instr::Add {
+            size: size(rng),
+            src: ea(rng),
+            dst: data_reg(rng),
+        },
+        5 => Instr::Sub {
+            size: size(rng),
+            src: ea(rng),
+            dst: data_reg(rng),
+        },
+        6 => Instr::Adda {
+            size: word_or_long(rng),
+            src: ea(rng),
+            dst: addr_reg(rng),
+        },
+        7 => Instr::Addq {
+            size: size(rng),
+            value: 1 + rng.gen_range(8) as u8,
+            dst: Ea::D(data_reg(rng)),
+        },
+        8 => Instr::Mulu {
+            src: ea(rng),
+            dst: data_reg(rng),
+        },
+        9 => Instr::Muls {
+            src: ea(rng),
+            dst: data_reg(rng),
+        },
+        10 => Instr::Divu {
+            src: ea(rng),
+            dst: data_reg(rng),
+        },
+        11 => Instr::Divs {
+            src: ea(rng),
+            dst: data_reg(rng),
+        },
+        12 => Instr::And {
+            size: size(rng),
+            src: ea(rng),
+            dst: data_reg(rng),
+        },
+        13 => Instr::Or {
+            size: size(rng),
+            src: ea(rng),
+            dst: data_reg(rng),
+        },
+        14 => Instr::Not {
+            size: size(rng),
+            dst: writable_ea(rng),
+        },
+        15 => Instr::Neg {
+            size: size(rng),
+            dst: writable_ea(rng),
+        },
+        16 => Instr::Shift {
+            kind: shift_kind(rng),
+            size: size(rng),
+            count: if rng.gen_range(2) == 0 {
+                ShiftCount::Imm(1 + rng.gen_range(8) as u8)
+            } else {
+                ShiftCount::Reg(data_reg(rng))
+            },
+            dst: data_reg(rng),
+        },
+        17 => Instr::Cmp {
+            size: size(rng),
+            src: ea(rng),
+            dst: data_reg(rng),
+        },
+        18 => Instr::Btst {
+            bit: rng.gen_range(16) as u8,
+            dst: btst_ea(rng),
+        },
+        19 => Instr::Tst {
+            size: size(rng),
+            dst: writable_ea(rng),
+        },
+        20 => [Instr::Nop, Instr::Rts, Instr::Halt][rng.gen_range(3)],
+        21 => [Instr::JmpSimd, Instr::Barrier, Instr::StartPes][rng.gen_range(3)],
+        22 => Instr::SetMask {
+            mask: rng.gen_u16(),
+        },
+        _ => Instr::Moveq {
+            value: rng.gen_u16() as i8,
+            dst: data_reg(rng),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
-
-    #[test]
-    fn display_reassembles_to_the_same_instruction(i in roundtrippable()) {
+#[test]
+fn display_reassembles_to_the_same_instruction() {
+    let mut rng = Rng::seed_from_u64(0x5a5a_1988);
+    for case in 0..2048 {
+        let i = roundtrippable(&mut rng);
         let text = i.to_string();
         let prog = assemble(&text)
-            .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
-        prop_assert_eq!(prog.instrs.len(), 1, "`{}`", text);
-        prop_assert_eq!(prog.instrs[0], i, "`{}`", text);
+            .unwrap_or_else(|e| panic!("case {case}: `{text}` failed to assemble: {e}"));
+        assert_eq!(prog.instrs.len(), 1, "`{text}`");
+        assert_eq!(prog.instrs[0], i, "`{text}`");
     }
+}
 
-    #[test]
-    fn words_and_bounds_are_consistent(i in roundtrippable()) {
+#[test]
+fn words_and_bounds_are_consistent() {
+    let mut rng = Rng::seed_from_u64(0xb0a7_1988);
+    for _ in 0..2048 {
+        let i = roundtrippable(&mut rng);
         // Word count is positive for real instructions and bounded by
         // opcode + 4 extension words; static bounds are ordered.
         let w = i.words();
-        prop_assert!((1..=6).contains(&w), "{i}: {w} words");
+        assert!((1..=6).contains(&w), "{i}: {w} words");
         let b = pasm_isa::analysis::instr_bounds(&i);
-        prop_assert!(b.min <= b.max);
-        prop_assert!(b.max < 200, "{i}: implausible {b:?}");
+        assert!(b.min <= b.max);
+        assert!(b.max < 200, "{i}: implausible {b:?}");
     }
 }

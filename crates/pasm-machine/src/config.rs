@@ -1,10 +1,9 @@
 //! Machine configuration: sizes and timing parameters of the simulated prototype.
 
 use pasm_mem::MemTiming;
-use serde::{Deserialize, Serialize};
 
 /// How the Fetch Unit releases a queued SIMD instruction to its PEs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReleaseMode {
     /// The real hardware rule: an instruction is released only after **all**
     /// enabled PEs have requested it, so every variable-time instruction costs
@@ -22,7 +21,7 @@ pub enum ReleaseMode {
 /// used in the paper: N = 16 PEs, Q = 4 MCs, 8 MHz MC68000s, DRAM PE memory
 /// with one more wait state than the static-RAM Fetch Unit queue, and a
 /// circuit-switched 8-bit-wide Extra-Stage Cube network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MachineConfig {
     /// Number of processing elements (power of two).
     pub n_pes: usize,
@@ -93,9 +92,15 @@ impl MachineConfig {
     /// Validate structural constraints; panics with a descriptive message.
     pub fn assert_valid(&self) {
         assert!(self.n_pes.is_power_of_two(), "n_pes must be a power of two");
-        assert!(self.n_mcs >= 1 && self.n_pes.is_multiple_of(self.n_mcs), "n_mcs must divide n_pes");
+        assert!(
+            self.n_mcs >= 1 && self.n_pes.is_multiple_of(self.n_mcs),
+            "n_mcs must divide n_pes"
+        );
         assert!(self.pe_mem_bytes >= 1024, "PE memory unrealistically small");
-        assert!(self.queue_capacity_words >= 4, "queue must hold at least one instruction");
+        assert!(
+            self.queue_capacity_words >= 4,
+            "queue must hold at least one instruction"
+        );
     }
 }
 
@@ -131,7 +136,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn invalid_pe_count_rejected() {
-        let c = MachineConfig { n_pes: 12, ..MachineConfig::prototype() };
+        let c = MachineConfig {
+            n_pes: 12,
+            ..MachineConfig::prototype()
+        };
         c.assert_valid();
     }
 }

@@ -10,10 +10,9 @@
 
 use pasm_isa::timing::{self, ExecCtx};
 use pasm_isa::{Ccr, Ea, Instr, ShiftCount, ShiftKind, Size};
-use serde::{Deserialize, Serialize};
 
 /// Architectural state of one MC68000-style processor.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Cpu {
     /// Data registers D0–D7.
     pub d: [u32; 8],
@@ -444,7 +443,12 @@ pub fn exec(cpu: &mut Cpu, bus: &mut dyn Bus, instr: &Instr) -> StepOutcome {
             cpu.ccr.set_logic(r, size);
             try_bus!(write_ea(cpu, bus, &mut pend, dst, size, r));
         }
-        Instr::Shift { kind, size, count, dst } => {
+        Instr::Shift {
+            kind,
+            size,
+            count,
+            dst,
+        } => {
             let n = match count {
                 ShiftCount::Imm(k) => k as u32,
                 ShiftCount::Reg(r) => cpu.d[r.index()] & 63,
@@ -482,13 +486,21 @@ pub fn exec(cpu: &mut Cpu, bus: &mut dyn Bus, instr: &Instr) -> StepOutcome {
                     }
                     ShiftKind::Rol => {
                         let k = n % bits;
-                        let r = if k == 0 { v } else { size.truncate((v << k) | (v >> (bits - k))) };
+                        let r = if k == 0 {
+                            v
+                        } else {
+                            size.truncate((v << k) | (v >> (bits - k)))
+                        };
                         carry = r & 1 != 0; // last bit rotated out of the top = new bit 0
                         r
                     }
                     ShiftKind::Ror => {
                         let k = n % bits;
-                        let r = if k == 0 { v } else { size.truncate((v >> k) | (v << (bits - k))) };
+                        let r = if k == 0 {
+                            v
+                        } else {
+                            size.truncate((v >> k) | (v << (bits - k)))
+                        };
                         carry = size.msb(r); // last bit rotated out of the bottom = new MSB
                         r
                     }
@@ -525,7 +537,9 @@ pub fn exec(cpu: &mut Cpu, bus: &mut dyn Bus, instr: &Instr) -> StepOutcome {
         }
         Instr::Btst { bit, dst } => {
             let (v, width) = match dst {
-                Ea::D(_) | Ea::A(_) => (try_bus!(read_ea(cpu, bus, &mut pend, dst, Size::Long)), 32),
+                Ea::D(_) | Ea::A(_) => {
+                    (try_bus!(read_ea(cpu, bus, &mut pend, dst, Size::Long)), 32)
+                }
                 _ => (try_bus!(read_ea(cpu, bus, &mut pend, dst, Size::Byte)), 8),
             };
             cpu.ccr.z = v & (1 << (bit as u32 % width)) == 0;
@@ -803,14 +817,30 @@ mod tests {
         let r = exec(&mut cpu, &mut MemBus(&mut mem), &Instr::JmpSimd);
         let StepOutcome::Done(r) = r else { panic!() };
         assert_eq!(r.effect, Effect::EnterSimd);
-        let r = exec(&mut cpu, &mut MemBus(&mut mem), &Instr::Mark { begin: true, phase: 2 });
+        let r = exec(
+            &mut cpu,
+            &mut MemBus(&mut mem),
+            &Instr::Mark {
+                begin: true,
+                phase: 2,
+            },
+        );
         let StepOutcome::Done(r) = r else { panic!() };
-        assert_eq!(r.effect, Effect::Mark { begin: true, phase: 2 });
+        assert_eq!(
+            r.effect,
+            Effect::Mark {
+                begin: true,
+                phase: 2
+            }
+        );
         assert_eq!(r.cycles, 0);
         let r = exec(
             &mut cpu,
             &mut MemBus(&mut mem),
-            &Instr::Bcc { cond: Cond::True, target: 9 },
+            &Instr::Bcc {
+                cond: Cond::True,
+                target: 9,
+            },
         );
         let StepOutcome::Done(_) = r else { panic!() };
         assert_eq!(cpu.pc, 9);
@@ -837,8 +867,13 @@ mod tests {
         cpu.d[0] = 0x0012_3456; // high word 0x12 >= divisor 3 => overflow
         cpu.d[1] = 3;
         let mut mem = Memory::new(64);
-        let i = Instr::Divu { src: Ea::D(DataReg::D1), dst: DataReg::D0 };
-        let StepOutcome::Done(r) = exec(&mut cpu, &mut MemBus(&mut mem), &i) else { panic!() };
+        let i = Instr::Divu {
+            src: Ea::D(DataReg::D1),
+            dst: DataReg::D0,
+        };
+        let StepOutcome::Done(r) = exec(&mut cpu, &mut MemBus(&mut mem), &i) else {
+            panic!()
+        };
         assert_eq!(cpu.d[0], 0x0012_3456, "destination unchanged on overflow");
         assert!(cpu.ccr.v);
         assert_eq!(r.cycles, 10, "early-out timing");
@@ -914,8 +949,13 @@ mod tests {
         cpu.d[1] = 0xFFFF;
         cpu.d[0] = 2;
         let mut mem = Memory::new(64);
-        let i = Instr::Mulu { src: Ea::D(DataReg::D1), dst: DataReg::D0 };
-        let StepOutcome::Done(r) = exec(&mut cpu, &mut MemBus(&mut mem), &i) else { panic!() };
+        let i = Instr::Mulu {
+            src: Ea::D(DataReg::D1),
+            dst: DataReg::D0,
+        };
+        let StepOutcome::Done(r) = exec(&mut cpu, &mut MemBus(&mut mem), &i) else {
+            panic!()
+        };
         assert_eq!(r.cycles, 70);
         assert_eq!(r.mulu_cycles, 70);
         assert_eq!(cpu.d[0], 0x1FFFE);

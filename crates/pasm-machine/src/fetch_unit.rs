@@ -18,7 +18,6 @@
 //! and the empty stall are modeled and counted.
 
 use pasm_isa::Instr;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// What a queue entry carries.
@@ -55,7 +54,7 @@ pub struct FucItem {
 }
 
 /// Aggregate Fetch Unit statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct FuStats {
     /// Entries that passed through the queue.
     pub entries: u64,
@@ -147,14 +146,20 @@ impl FetchUnit {
             self.fuc_blocked = true;
             return None;
         }
-        let start = self.fuc_free_at.max(head.earliest).max(self.space_available_at);
+        let start = self
+            .fuc_free_at
+            .max(head.earliest)
+            .max(self.space_available_at);
         Some(start + head.words as u64 * cycles_per_word)
     }
 
     /// Perform the controller move whose completion time was computed by
     /// [`Self::next_move_completion`].
     pub fn do_move(&mut self, completion: u64) {
-        let item = self.pending.pop_front().expect("do_move without pending item");
+        let item = self
+            .pending
+            .pop_front()
+            .expect("do_move without pending item");
         self.fuc_free_at = completion;
         self.occupancy_words += item.words;
         self.stats.max_depth_words = self.stats.max_depth_words.max(self.occupancy_words);
@@ -225,7 +230,10 @@ mod tests {
         fu.pop_head(100);
         assert!(!fu.fuc_blocked);
         let c = fu.next_move_completion(1).unwrap();
-        assert!(c >= 100, "move resumes only after space appears at t=100, got {c}");
+        assert!(
+            c >= 100,
+            "move resumes only after space appears at t=100, got {c}"
+        );
     }
 
     #[test]

@@ -17,7 +17,6 @@ use pasm_isa::{Instr, Program, Size};
 use pasm_mem::map::{self, MemMap, NetReg, Region};
 use pasm_mem::Memory;
 use pasm_net::{ring_circuits, EscNetwork, NetError};
-use serde::{Deserialize, Serialize};
 
 /// Execution mode of a PE.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +48,9 @@ enum McState {
     Idle,
     Ready,
     /// Waiting for the Fetch Unit controller to accept the next command.
-    AwaitFuc { since: u64 },
+    AwaitFuc {
+        since: u64,
+    },
     Halted,
 }
 
@@ -93,7 +94,7 @@ struct Mc {
 }
 
 /// Result of a completed run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Global completion time: the latest halt over all components.
     pub makespan: u64,
@@ -111,7 +112,11 @@ impl RunResult {
     /// Sum of a phase's cycles, maximized over PEs (the paper's per-phase
     /// contribution is the slowest processor's view).
     pub fn phase_max(&self, phase: usize) -> u64 {
-        self.pe.iter().map(|t| t.phase_cycles[phase]).max().unwrap_or(0)
+        self.pe
+            .iter()
+            .map(|t| t.phase_cycles[phase])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean over PEs that executed anything.
@@ -120,7 +125,11 @@ impl RunResult {
         if active.is_empty() {
             return 0.0;
         }
-        active.iter().map(|t| t.phase_cycles[phase] as f64).sum::<f64>() / active.len() as f64
+        active
+            .iter()
+            .map(|t| t.phase_cycles[phase] as f64)
+            .sum::<f64>()
+            / active.len() as f64
     }
 
     /// Total instructions executed by PEs.
@@ -192,10 +201,22 @@ impl Machine {
                 trace: McTrace::default(),
             })
             .collect();
-        let fus = (0..cfg.n_mcs).map(|_| FetchUnit::new(cfg.queue_capacity_words)).collect();
-        let net = NetState { dest: vec![None; cfg.n_pes], rx: vec![None; cfg.n_pes] };
+        let fus = (0..cfg.n_mcs)
+            .map(|_| FetchUnit::new(cfg.queue_capacity_words))
+            .collect();
+        let net = NetState {
+            dest: vec![None; cfg.n_pes],
+            rx: vec![None; cfg.n_pes],
+        };
         let esc = EscNetwork::new(cfg.n_pes.max(2));
-        Machine { cfg, pes, mcs, fus, net, esc }
+        Machine {
+            cfg,
+            pes,
+            mcs,
+            fus,
+            net,
+            esc,
+        }
     }
 
     /// The configuration this machine was built with.
@@ -216,7 +237,9 @@ impl Machine {
 
     /// Physical PEs controlled by an MC, in mask-bit order.
     pub fn group_pes(&self, mc: usize) -> Vec<usize> {
-        (0..self.cfg.pes_per_mc()).map(|j| j * self.cfg.n_mcs + mc).collect()
+        (0..self.cfg.pes_per_mc())
+            .map(|j| j * self.cfg.n_mcs + mc)
+            .collect()
     }
 
     /// Load a PE's MIMD program.
@@ -345,8 +368,18 @@ impl Machine {
     }
 
     fn result(&self) -> RunResult {
-        let pe_makespan = self.pes.iter().map(|p| p.trace.finished_at).max().unwrap_or(0);
-        let mc_makespan = self.mcs.iter().map(|m| m.trace.finished_at).max().unwrap_or(0);
+        let pe_makespan = self
+            .pes
+            .iter()
+            .map(|p| p.trace.finished_at)
+            .max()
+            .unwrap_or(0);
+        let mc_makespan = self
+            .mcs
+            .iter()
+            .map(|m| m.trace.finished_at)
+            .max()
+            .unwrap_or(0);
         RunResult {
             makespan: pe_makespan.max(mc_makespan),
             pe_makespan,
@@ -364,11 +397,17 @@ impl Machine {
         let now = self.pes[i].ready_at;
 
         let (instr, simd_delivered) = match self.pes[i].pending {
-            Some(QueueEntry { kind: EntryKind::Instr(ins), .. }) => (ins, true),
+            Some(QueueEntry {
+                kind: EntryKind::Instr(ins),
+                ..
+            }) => (ins, true),
             _ => {
                 let pc = self.pes[i].cpu.pc;
                 let prog = &self.pes[i].program;
-                assert!(pc < prog.instrs.len(), "PE {i}: pc {pc} fell off the program");
+                assert!(
+                    pc < prog.instrs.len(),
+                    "PE {i}: pc {pc} fell off the program"
+                );
                 (prog.instrs[pc], false)
             }
         };
@@ -410,9 +449,16 @@ impl Machine {
 
         // Charge memory waits: instruction words come from the queue (SRAM) in
         // SIMD mode, from PE DRAM in MIMD mode; operand traffic is always DRAM.
-        let fetch_timing = if simd_delivered { self.cfg.fu_sram } else { self.cfg.pe_dram };
+        let fetch_timing = if simd_delivered {
+            self.cfg.fu_sram
+        } else {
+            self.cfg.pe_dram
+        };
         let fetch_wait = fetch_timing.burst_delay(now, r.fetch_words);
-        let data_wait = self.cfg.pe_dram.burst_delay(now + fetch_wait, r.data_accesses);
+        let data_wait = self
+            .cfg
+            .pe_dram
+            .burst_delay(now + fetch_wait, r.data_accesses);
         let duration = r.cycles as u64 + fetch_wait + data_wait + extra_cycles;
         let new_now = now + duration;
 
@@ -485,7 +531,11 @@ impl Machine {
                 self.pes[i].cpu.pc = target;
             }
             Effect::BarrierRequest => {
-                assert_eq!(self.pes[i].mode, PeMode::Mimd, "BARRIER is a MIMD-mode read");
+                assert_eq!(
+                    self.pes[i].mode,
+                    PeMode::Mimd,
+                    "BARRIER is a MIMD-mode read"
+                );
                 self.pes[i].state = PeState::AwaitSimd { since: new_now };
                 let mc = self.mc_of_pe(i);
                 self.check_release(mc);
@@ -517,7 +567,9 @@ impl Machine {
     fn check_release_lockstep(&mut self, mc: usize) {
         loop {
             let group = self.group_pes(mc);
-            let Some(&head) = self.fus[mc].queue.front() else { return };
+            let Some(&head) = self.fus[mc].queue.front() else {
+                return;
+            };
             let enabled: Vec<usize> = group
                 .iter()
                 .copied()
@@ -554,7 +606,9 @@ impl Machine {
             }
             self.fus[mc].pop_head(release);
             for &pe in &enabled {
-                let PeState::AwaitSimd { since } = self.pes[pe].state else { unreachable!() };
+                let PeState::AwaitSimd { since } = self.pes[pe].state else {
+                    unreachable!()
+                };
                 self.pes[pe].trace.simd_wait_cycles += release - since;
                 self.pes[pe].state = PeState::Ready;
                 self.pes[pe].ready_at = release;
@@ -579,11 +633,15 @@ impl Machine {
         let group = self.group_pes(mc);
         // Serve every waiting PE whose cursor points at an available entry.
         for &pe in &group {
-            let PeState::AwaitSimd { since } = self.pes[pe].state else { continue };
+            let PeState::AwaitSimd { since } = self.pes[pe].state else {
+                continue;
+            };
             let bit = 1u16 << self.group_bit(pe);
             loop {
                 let cursor = self.pes[pe].cursor;
-                let Some(entry) = self.fus[mc].queue.get(cursor).copied() else { break };
+                let Some(entry) = self.fus[mc].queue.get(cursor).copied() else {
+                    break;
+                };
                 if entry.mask & bit == 0 {
                     self.pes[pe].cursor += 1;
                     continue;
@@ -610,9 +668,13 @@ impl Machine {
         }
         // Retire fully consumed heads.
         loop {
-            let group_mask: u16 =
-                group.iter().map(|&pe| 1u16 << self.group_bit(pe)).fold(0, |a, b| a | b);
-            let Some(&head) = self.fus[mc].queue.front() else { break };
+            let group_mask: u16 = group
+                .iter()
+                .map(|&pe| 1u16 << self.group_bit(pe))
+                .fold(0, |a, b| a | b);
+            let Some(&head) = self.fus[mc].queue.front() else {
+                break;
+            };
             let need = head.mask & group_mask;
             if need != 0 && head.consumed & need != need {
                 break;
@@ -632,7 +694,10 @@ impl Machine {
     fn step_mc(&mut self, i: usize) {
         let now = self.mcs[i].ready_at;
         let pc = self.mcs[i].cpu.pc;
-        assert!(pc < self.mcs[i].program.instrs.len(), "MC {i}: pc {pc} fell off the program");
+        assert!(
+            pc < self.mcs[i].program.instrs.len(),
+            "MC {i}: pc {pc} fell off the program"
+        );
         let instr = self.mcs[i].program.instrs[pc];
 
         // An enqueue command stalls until the controller finished the previous
@@ -654,7 +719,10 @@ impl Machine {
         };
 
         let fetch_wait = self.cfg.mc_dram.burst_delay(now, r.fetch_words);
-        let data_wait = self.cfg.mc_dram.burst_delay(now + fetch_wait, r.data_accesses);
+        let data_wait = self
+            .cfg
+            .mc_dram
+            .burst_delay(now + fetch_wait, r.data_accesses);
         let new_now = now + r.cycles as u64 + fetch_wait + data_wait;
         self.mcs[i].ready_at = new_now;
         if !matches!(instr, Instr::Mark { .. }) {
@@ -681,8 +749,7 @@ impl Machine {
                 }
                 McEffect::StartPes => {
                     for pe in self.group_pes(i) {
-                        if self.pes[pe].state == PeState::Idle && !self.pes[pe].program.is_empty()
-                        {
+                        if self.pes[pe].state == PeState::Idle && !self.pes[pe].program.is_empty() {
                             self.pes[pe].state = PeState::Ready;
                             self.pes[pe].ready_at = new_now;
                         }
@@ -775,8 +842,10 @@ impl Bus for PeBus<'_> {
                 if self.net.rx[dest].is_some() {
                     return Err(Block::NetTxFull);
                 }
-                self.net.rx[dest] =
-                    Some(RxByte { value: value as u8, valid_at: self.now + self.net_word_cycles });
+                self.net.rx[dest] = Some(RxByte {
+                    value: value as u8,
+                    valid_at: self.now + self.net_word_cycles,
+                });
                 self.wrote_net_to = Some(dest);
                 Ok(())
             }

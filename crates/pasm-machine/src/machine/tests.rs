@@ -87,8 +87,15 @@ fn simd_pair(block_body: &[Instr]) -> (Program, Program) {
 fn simd_broadcast_reaches_all_pes() {
     let mut m = small_machine();
     let (pe, mc) = simd_pair(&[
-        Instr::Moveq { value: 7, dst: DataReg::D0 },
-        Instr::Add { size: Size::Word, src: Ea::D(DataReg::D0), dst: DataReg::D0 },
+        Instr::Moveq {
+            value: 7,
+            dst: DataReg::D0,
+        },
+        Instr::Add {
+            size: Size::Word,
+            src: Ea::D(DataReg::D0),
+            dst: DataReg::D0,
+        },
     ]);
     for i in 0..4 {
         m.load_pe_program(i, pe.clone());
@@ -109,13 +116,28 @@ fn simd_lockstep_costs_the_max_multiply() {
     // exceed the decoupled (ablation) time.
     let body = [
         // D1 preloaded per-PE below; MULU D1,D0 repeated.
-        Instr::Mulu { src: Ea::D(DataReg::D1), dst: DataReg::D0 },
-        Instr::Mulu { src: Ea::D(DataReg::D1), dst: DataReg::D0 },
-        Instr::Mulu { src: Ea::D(DataReg::D1), dst: DataReg::D0 },
-        Instr::Mulu { src: Ea::D(DataReg::D1), dst: DataReg::D0 },
+        Instr::Mulu {
+            src: Ea::D(DataReg::D1),
+            dst: DataReg::D0,
+        },
+        Instr::Mulu {
+            src: Ea::D(DataReg::D1),
+            dst: DataReg::D0,
+        },
+        Instr::Mulu {
+            src: Ea::D(DataReg::D1),
+            dst: DataReg::D0,
+        },
+        Instr::Mulu {
+            src: Ea::D(DataReg::D1),
+            dst: DataReg::D0,
+        },
     ];
     let run_with = |mode: ReleaseMode| {
-        let cfg = MachineConfig { release_mode: mode, ..MachineConfig::small() };
+        let cfg = MachineConfig {
+            release_mode: mode,
+            ..MachineConfig::small()
+        };
         let mut m = Machine::new(cfg);
         let (pe, mc) = simd_pair(&body);
         for i in 0..4 {
@@ -143,7 +165,11 @@ fn simd_lockstep_costs_the_max_multiply() {
 fn barrier_synchronizes_mimd_pes() {
     // Two PEs with very different work lengths hit a BARRIER; both must leave
     // it at the same time (the release), and the fast one records the wait.
-    let cfg = MachineConfig { n_pes: 4, n_mcs: 1, ..MachineConfig::small() };
+    let cfg = MachineConfig {
+        n_pes: 4,
+        n_mcs: 1,
+        ..MachineConfig::small()
+    };
     let mut m = Machine::new(cfg);
     let slow = halting(
         "
@@ -175,7 +201,11 @@ fn barrier_synchronizes_mimd_pes() {
     let finish: Vec<u64> = r.pe.iter().take(4).map(|t| t.finished_at).collect();
     let spread = finish.iter().max().unwrap() - finish.iter().min().unwrap();
     assert!(spread <= 16, "finish spread {spread} too large: {finish:?}");
-    assert!(r.pe[1].simd_wait_cycles > 1000, "fast PE waited {}", r.pe[1].simd_wait_cycles);
+    assert!(
+        r.pe[1].simd_wait_cycles > 1000,
+        "fast PE waited {}",
+        r.pe[1].simd_wait_cycles
+    );
 }
 
 #[test]
@@ -243,7 +273,11 @@ fn network_blocked_read_wakes_on_send() {
     m.start_pe(1, 0);
     let r = m.run().unwrap();
     assert_eq!(m.pe_cpu(1).d[0] & 0xFF, 0x42);
-    assert!(r.pe[1].net_rx_stall_cycles > 500, "stall {}", r.pe[1].net_rx_stall_cycles);
+    assert!(
+        r.pe[1].net_rx_stall_cycles > 500,
+        "stall {}",
+        r.pe[1].net_rx_stall_cycles
+    );
 }
 
 #[test]
@@ -280,7 +314,11 @@ fn network_tx_backpressure() {
     let r = m.run().unwrap();
     assert_eq!(m.pe_cpu(1).d[0] & 0xFF, 1);
     assert_eq!(m.pe_cpu(1).d[1] & 0xFF, 2);
-    assert!(r.pe[0].net_tx_stall_cycles > 100, "stall {}", r.pe[0].net_tx_stall_cycles);
+    assert!(
+        r.pe[0].net_tx_stall_cycles > 100,
+        "stall {}",
+        r.pe[0].net_tx_stall_cycles
+    );
 }
 
 #[test]
@@ -320,7 +358,10 @@ fn deadlock_is_reported() {
 
 #[test]
 fn cycle_limit_is_enforced() {
-    let cfg = MachineConfig { max_cycles: 10_000, ..MachineConfig::small() };
+    let cfg = MachineConfig {
+        max_cycles: 10_000,
+        ..MachineConfig::small()
+    };
     let mut m = Machine::new(cfg);
     m.load_pe_program(0, halting("t: BRA t\nHALT\n"));
     m.start_pe(0, 0);
@@ -372,10 +413,17 @@ fn mask_disables_pes_for_selected_broadcasts() {
     let pe = pe.build().unwrap();
     let mut mc = ProgramBuilder::new();
     let all = mc.begin_block();
-    mc.emit(Instr::Moveq { value: 1, dst: DataReg::D0 });
+    mc.emit(Instr::Moveq {
+        value: 1,
+        dst: DataReg::D0,
+    });
     mc.end_block();
     let some = mc.begin_block();
-    mc.emit(Instr::Addq { size: Size::Word, value: 7, dst: Ea::D(DataReg::D0) });
+    mc.emit(Instr::Addq {
+        size: Size::Word,
+        value: 7,
+        dst: Ea::D(DataReg::D0),
+    });
     mc.end_block();
     let done = mc.begin_block();
     mc.emit(Instr::JmpMimd { target: 1 });
@@ -409,7 +457,10 @@ fn fully_masked_entry_drains_without_effect() {
     let pe = pe.build().unwrap();
     let mut mc = ProgramBuilder::new();
     let nobody = mc.begin_block();
-    mc.emit(Instr::Moveq { value: 99, dst: DataReg::D0 });
+    mc.emit(Instr::Moveq {
+        value: 99,
+        dst: DataReg::D0,
+    });
     mc.end_block();
     let done = mc.begin_block();
     mc.emit(Instr::JmpMimd { target: 1 });
@@ -426,7 +477,11 @@ fn fully_masked_entry_drains_without_effect() {
     }
     m.run().unwrap();
     for i in 0..4 {
-        assert_eq!(m.pe_cpu(i).d[0], 0, "PE {i} must never see the masked-out block");
+        assert_eq!(
+            m.pe_cpu(i).d[0],
+            0,
+            "PE {i} must never see the masked-out block"
+        );
     }
 }
 
@@ -449,10 +504,20 @@ fn queue_empty_stall_counted_when_mc_is_slow() {
     mc.emit(Instr::StartPes);
     mc.emit(Instr::Enqueue { block: b0.0 });
     // Busy-wait on the MC before the next broadcast.
-    mc.emit(Instr::Move { size: Size::Word, src: Ea::Imm(200), dst: Ea::D(DataReg::D1) });
+    mc.emit(Instr::Move {
+        size: Size::Word,
+        src: Ea::Imm(200),
+        dst: Ea::D(DataReg::D1),
+    });
     let l = mc.here("spin");
     mc.emit(Instr::Nop);
-    mc.branch(Instr::Dbra { dst: DataReg::D1, target: 0 }, l);
+    mc.branch(
+        Instr::Dbra {
+            dst: DataReg::D1,
+            target: 0,
+        },
+        l,
+    );
     mc.emit(Instr::Enqueue { block: b1.0 });
     mc.emit(Instr::Halt);
     let mc = mc.build().unwrap();
@@ -461,5 +526,9 @@ fn queue_empty_stall_counted_when_mc_is_slow() {
     }
     m.load_mc_program(0, mc);
     let r = m.run().unwrap();
-    assert!(r.fu[0].empty_stall_cycles > 1000, "empty stall {}", r.fu[0].empty_stall_cycles);
+    assert!(
+        r.fu[0].empty_stall_cycles > 1000,
+        "empty stall {}",
+        r.fu[0].empty_stall_cycles
+    );
 }

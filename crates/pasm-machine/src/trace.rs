@@ -1,13 +1,11 @@
 //! Per-component instrumentation: instruction counts, stall accounting, and
 //! the phase breakdown used to regenerate the paper's Figures 8–10.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of distinct phase ids supported by `Mark` instrumentation.
 pub const N_PHASES: usize = 8;
 
 /// Execution statistics of one PE.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PeTrace {
     /// Instructions executed (MIMD and SIMD-delivered, marks excluded).
     pub instrs: u64,
@@ -35,7 +33,6 @@ pub struct PeTrace {
     /// Accumulated cycles per instrumentation phase.
     pub phase_cycles: [u64; N_PHASES],
     /// Open phase start times (begin marker seen, end pending).
-    #[serde(skip)]
     pub(crate) phase_open: [Option<u64>; N_PHASES],
 }
 
@@ -60,7 +57,7 @@ impl PeTrace {
 }
 
 /// Execution statistics of one MC.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct McTrace {
     /// Instructions executed.
     pub instrs: u64,

@@ -14,8 +14,6 @@
 //! The exact base addresses are simulator conventions, not prototype values;
 //! nothing in the experiments depends on them.
 
-use serde::{Deserialize, Serialize};
-
 /// Base of the reserved SIMD instruction space.
 pub const SIMD_SPACE_BASE: u32 = 0x00F0_0000;
 /// Exclusive end of the SIMD instruction space.
@@ -32,7 +30,7 @@ pub const NET_STATUS: u32 = 0x00E0_0004;
 pub const TIMER: u32 = 0x00D0_0000;
 
 /// Which network register an address refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetReg {
     /// Data transmit register.
     Dtr,
@@ -43,7 +41,7 @@ pub enum NetReg {
 }
 
 /// Classification of a PE bus address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Region {
     /// Ordinary PE main memory (DRAM).
     Main,
@@ -56,7 +54,7 @@ pub enum Region {
 }
 
 /// Address decoder for the PE bus.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MemMap;
 
 impl MemMap {

@@ -1,13 +1,11 @@
 //! Big-endian byte storage for PE and MC memories.
 
-use serde::{Deserialize, Serialize};
-
 /// A flat, zero-initialized, big-endian memory.
 ///
 /// Addresses are byte addresses; word/long accesses must be even-aligned, as on
 /// the MC68000 (odd word access raised an address-error trap on the real CPU —
 /// here it panics in debug and is the caller's bug).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Memory {
     bytes: Vec<u8>,
 }
@@ -15,7 +13,9 @@ pub struct Memory {
 impl Memory {
     /// Allocate `size` bytes of zeroed memory.
     pub fn new(size: usize) -> Self {
-        Memory { bytes: vec![0; size] }
+        Memory {
+            bytes: vec![0; size],
+        }
     }
 
     /// Size in bytes.
@@ -77,7 +77,12 @@ impl Memory {
         debug_assert!(addr.is_multiple_of(2), "odd long read at {addr:#X}");
         self.check(addr, 4);
         let a = addr as usize;
-        u32::from_be_bytes([self.bytes[a], self.bytes[a + 1], self.bytes[a + 2], self.bytes[a + 3]])
+        u32::from_be_bytes([
+            self.bytes[a],
+            self.bytes[a + 1],
+            self.bytes[a + 2],
+            self.bytes[a + 3],
+        ])
     }
 
     /// Write a big-endian 32-bit long word to an even address.
@@ -116,7 +121,9 @@ impl Memory {
 
     /// Bulk-read `count` 16-bit words starting at `addr`.
     pub fn dump_words(&self, addr: u32, count: usize) -> Vec<u16> {
-        (0..count).map(|i| self.read_word(addr + 2 * i as u32)).collect()
+        (0..count)
+            .map(|i| self.read_word(addr + 2 * i as u32))
+            .collect()
     }
 
     /// Zero a byte range.

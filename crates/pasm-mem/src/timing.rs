@@ -17,10 +17,8 @@
 //! PEs), which mirrors the prototype's synchronized refresh design — and means
 //! refresh does **not** add cross-PE variance, only a small uniform slowdown.
 
-use serde::{Deserialize, Serialize};
-
 /// Timing parameters of a memory technology as seen from the CPU bus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemTiming {
     /// Extra cycles inserted per 16-bit access (wait states).
     pub wait_states: u32,
@@ -39,21 +37,30 @@ impl MemTiming {
     /// EXPERIMENTS.md): together with the queue's one-fewer wait state they
     /// reproduce the paper's Fig. 7 crossover at ~14 added multiplies and the
     /// superlinear SIMD efficiency of Fig. 11.
-    pub const PE_DRAM: MemTiming =
-        MemTiming { wait_states: 2, refresh_interval: 125, refresh_duration: 10 };
+    pub const PE_DRAM: MemTiming = MemTiming {
+        wait_states: 2,
+        refresh_interval: 125,
+        refresh_duration: 10,
+    };
 
     /// Fetch Unit queue: static RAM, exactly one wait state fewer than the PE
     /// DRAM (paper §3) and no refresh.
-    pub const FU_SRAM: MemTiming =
-        MemTiming { wait_states: 1, refresh_interval: 0, refresh_duration: 0 };
+    pub const FU_SRAM: MemTiming = MemTiming {
+        wait_states: 1,
+        refresh_interval: 0,
+        refresh_duration: 0,
+    };
 
     /// MC program memory: modeled like the PE DRAM (the MCs use the same
     /// memory technology for their own instruction store).
     pub const MC_DRAM: MemTiming = MemTiming::PE_DRAM;
 
     /// Ideal zero-wait memory (useful as an ablation baseline).
-    pub const IDEAL: MemTiming =
-        MemTiming { wait_states: 0, refresh_interval: 0, refresh_duration: 0 };
+    pub const IDEAL: MemTiming = MemTiming {
+        wait_states: 0,
+        refresh_interval: 0,
+        refresh_duration: 0,
+    };
 
     /// Extra delay (beyond the CPU-core cycles) for one 16-bit access that
     /// *starts* at absolute cycle `now`: wait states plus any refresh-window
@@ -118,7 +125,11 @@ mod tests {
         let t = MemTiming::FU_SRAM;
         assert_eq!(t.wait_states + 1, MemTiming::PE_DRAM.wait_states);
         for now in [0u64, 1, 124, 125, 10_000] {
-            assert_eq!(t.access_delay(now), t.wait_states as u64, "no refresh component");
+            assert_eq!(
+                t.access_delay(now),
+                t.wait_states as u64,
+                "no refresh component"
+            );
         }
         assert_eq!(t.mean_overhead_per_access(), t.wait_states as f64);
     }
@@ -133,7 +144,11 @@ mod tests {
 
     #[test]
     fn refresh_window_delays_until_close() {
-        let t = MemTiming { wait_states: 0, refresh_interval: 100, refresh_duration: 4 };
+        let t = MemTiming {
+            wait_states: 0,
+            refresh_interval: 100,
+            refresh_duration: 4,
+        };
         assert_eq!(t.refresh_delay(0), 4);
         assert_eq!(t.refresh_delay(1), 3);
         assert_eq!(t.refresh_delay(3), 1);
@@ -144,16 +159,28 @@ mod tests {
 
     #[test]
     fn burst_delay_accumulates() {
-        let t = MemTiming { wait_states: 1, refresh_interval: 0, refresh_duration: 0 };
+        let t = MemTiming {
+            wait_states: 1,
+            refresh_interval: 0,
+            refresh_duration: 0,
+        };
         assert_eq!(t.burst_delay(0, 3), 3);
-        let t = MemTiming { wait_states: 0, refresh_interval: 8, refresh_duration: 2 };
+        let t = MemTiming {
+            wait_states: 0,
+            refresh_interval: 8,
+            refresh_duration: 2,
+        };
         // First access at 0 hits the window (wait 2), then proceeds.
         assert!(t.burst_delay(0, 1) >= 2);
     }
 
     #[test]
     fn mean_overhead_formula() {
-        let t = MemTiming { wait_states: 1, refresh_interval: 125, refresh_duration: 4 };
+        let t = MemTiming {
+            wait_states: 1,
+            refresh_interval: 125,
+            refresh_duration: 4,
+        };
         let expected = 1.0 + (4.0 / 125.0) * 2.0;
         assert!((t.mean_overhead_per_access() - expected).abs() < 1e-12);
     }

@@ -1,16 +1,15 @@
 //! The ESC network proper: stage enables, faults, routing, circuit switching.
 
 use crate::topology::{box_index, box_port, Stage};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Handle to an established circuit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CircuitId(pub u32);
 
 /// Setting of a 2×2 interchange box used by a circuit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BoxMode {
     /// Upper→upper, lower→lower.
     Straight,
@@ -23,7 +22,7 @@ pub enum BoxMode {
 }
 
 /// One box traversal of a routed path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hop {
     /// Stage position (0 = extra stage).
     pub stage: u32,
@@ -36,7 +35,7 @@ pub struct Hop {
 }
 
 /// A fully routed source→destination path.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Path {
     pub src: usize,
     pub dst: usize,
@@ -72,7 +71,7 @@ impl fmt::Display for NetError {
 impl std::error::Error for NetError {}
 
 /// Occupancy of one interchange box by established circuits.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct BoxState {
     /// Mode the box is latched in while any circuit holds it.
     mode: Option<BoxMode>,
@@ -88,7 +87,7 @@ struct BoxState {
 /// output stage enabled, making the network a plain Generalized Cube. Enabling
 /// both cube₀ stages yields two box-disjoint route choices per pair, which is
 /// how single interior faults are tolerated.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EscNetwork {
     n: usize,
     m: u32,
@@ -103,7 +102,10 @@ pub struct EscNetwork {
 impl EscNetwork {
     /// Build a fault-free network for `n` endpoints (`n` must be a power of two ≥ 2).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "ESC size must be a power of two >= 2, got {n}");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "ESC size must be a power of two >= 2, got {n}"
+        );
         let m = n.trailing_zeros();
         let boxes = (0..=m).map(|_| vec![BoxState::default(); n / 2]).collect();
         EscNetwork {
@@ -129,13 +131,19 @@ impl EscNetwork {
 
     /// Enable/disable the extra (input cube₀) stage.
     pub fn set_extra_enabled(&mut self, on: bool) {
-        assert!(self.circuits.is_empty(), "reconfigure only with no circuits up");
+        assert!(
+            self.circuits.is_empty(),
+            "reconfigure only with no circuits up"
+        );
         self.extra_enabled = on;
     }
 
     /// Enable/disable the output cube₀ stage.
     pub fn set_output_enabled(&mut self, on: bool) {
-        assert!(self.circuits.is_empty(), "reconfigure only with no circuits up");
+        assert!(
+            self.circuits.is_empty(),
+            "reconfigure only with no circuits up"
+        );
         self.output_enabled = on;
     }
 
@@ -170,11 +178,13 @@ impl EscNetwork {
     ///
     /// Panics if circuits are established (reconfiguration drops the data path).
     pub fn reconfigure_for_faults(&mut self) {
-        assert!(self.circuits.is_empty(), "reconfigure only with no circuits up");
+        assert!(
+            self.circuits.is_empty(),
+            "reconfigure only with no circuits up"
+        );
         let extra_fault = self.boxes[0].iter().any(|b| b.faulty);
         let output_fault = self.boxes[self.m as usize].iter().any(|b| b.faulty);
-        let interior_fault = (1..self.m as usize)
-            .any(|s| self.boxes[s].iter().any(|b| b.faulty));
+        let interior_fault = (1..self.m as usize).any(|s| self.boxes[s].iter().any(|b| b.faulty));
         if output_fault {
             self.extra_enabled = true;
             self.output_enabled = false;
@@ -223,7 +233,11 @@ impl EscNetwork {
             } else {
                 (line >> stage.bit) & 1 != (dst >> stage.bit) & 1
             };
-            let mode = if exchange { BoxMode::Exchange } else { BoxMode::Straight };
+            let mode = if exchange {
+                BoxMode::Exchange
+            } else {
+                BoxMode::Straight
+            };
             hops.push(Hop {
                 stage: stage.position,
                 box_idx: box_index(line, stage.bit),
@@ -234,12 +248,19 @@ impl EscNetwork {
                 line ^= 1 << stage.bit;
             }
         }
-        (line == dst).then_some(Path { src, dst, via_extra, hops })
+        (line == dst).then_some(Path {
+            src,
+            dst,
+            via_extra,
+            hops,
+        })
     }
 
     /// True if every box on the path is healthy.
     pub fn path_fault_free(&self, path: &Path) -> bool {
-        path.hops.iter().all(|h| !self.boxes[h.stage as usize][h.box_idx].faulty)
+        path.hops
+            .iter()
+            .all(|h| !self.boxes[h.stage as usize][h.box_idx].faulty)
     }
 
     /// True if the path can be claimed given current circuit occupancy.
@@ -248,8 +269,7 @@ impl EscNetwork {
             let b = &self.boxes[h.stage as usize][h.box_idx];
             !b.faulty
                 && !b.port_used[h.port]
-                && (b.mode.is_none()
-                    || (b.mode == Some(h.mode) && h.mode != BoxMode::Broadcast))
+                && (b.mode.is_none() || (b.mode == Some(h.mode) && h.mode != BoxMode::Broadcast))
         })
     }
 
@@ -311,12 +331,21 @@ impl EscNetwork {
         if src >= self.n {
             return Err(NetError::BadEndpoint(src));
         }
-        let hops = self
-            .broadcast_route(src)
-            .ok_or(NetError::Unroutable { src, dst: usize::MAX })?;
-        let path = Path { src, dst: usize::MAX, via_extra: false, hops };
+        let hops = self.broadcast_route(src).ok_or(NetError::Unroutable {
+            src,
+            dst: usize::MAX,
+        })?;
+        let path = Path {
+            src,
+            dst: usize::MAX,
+            via_extra: false,
+            hops,
+        };
         if !self.path_fault_free(&path) {
-            return Err(NetError::Unroutable { src, dst: usize::MAX });
+            return Err(NetError::Unroutable {
+                src,
+                dst: usize::MAX,
+            });
         }
         // A broadcast box must be completely free (it drives both outputs).
         let free = path.hops.iter().all(|h| {
@@ -327,7 +356,10 @@ impl EscNetwork {
             }
         });
         if !free {
-            return Err(NetError::Blocked { src, dst: usize::MAX });
+            return Err(NetError::Blocked {
+                src,
+                dst: usize::MAX,
+            });
         }
         let id = CircuitId(self.next_id);
         self.next_id += 1;
@@ -389,7 +421,10 @@ impl EscNetwork {
 
     /// Tear down a circuit, freeing its boxes.
     pub fn release(&mut self, id: CircuitId) -> Result<(), NetError> {
-        let path = self.circuits.remove(&id).ok_or(NetError::NoSuchCircuit(id))?;
+        let path = self
+            .circuits
+            .remove(&id)
+            .ok_or(NetError::NoSuchCircuit(id))?;
         for h in &path.hops {
             let b = &mut self.boxes[h.stage as usize][h.box_idx];
             if h.mode == BoxMode::Broadcast {
@@ -476,9 +511,12 @@ mod tests {
                 let a = net.route(s, d, false).unwrap();
                 let b = net.route(s, d, true).unwrap();
                 // Interior hops must differ in every interior stage.
-                for (ha, hb) in a.hops.iter().zip(&b.hops).filter(|(h, _)| {
-                    h.stage != 0 && h.stage != 4
-                }) {
+                for (ha, hb) in a
+                    .hops
+                    .iter()
+                    .zip(&b.hops)
+                    .filter(|(h, _)| h.stage != 0 && h.stage != 4)
+                {
                     assert_ne!(ha.box_idx, hb.box_idx, "{s}->{d} stage {}", ha.stage);
                 }
             }
@@ -521,8 +559,7 @@ mod tests {
         for p in [2usize, 4, 8, 16] {
             let mut net = fresh(16);
             let pes: Vec<usize> = (0..p).map(|l| l * (16 / p)).collect();
-            let ids = ring_circuits(&mut net, &pes)
-                .unwrap_or_else(|e| panic!("ring p={p}: {e}"));
+            let ids = ring_circuits(&mut net, &pes).unwrap_or_else(|e| panic!("ring p={p}: {e}"));
             assert_eq!(ids.len(), p);
         }
         // Contiguous PE numbering must work too.
@@ -560,7 +597,9 @@ mod tests {
         assert!(!net.output_enabled());
         for s in 0..16 {
             for d in 0..16 {
-                let id = net.establish(s, d).unwrap_or_else(|e| panic!("{s}->{d}: {e}"));
+                let id = net
+                    .establish(s, d)
+                    .unwrap_or_else(|e| panic!("{s}->{d}: {e}"));
                 net.release(id).unwrap();
             }
         }

@@ -4,15 +4,13 @@
 //! *cube_b* interconnection routes line `l` and line `l ⊕ 2^b` into the same
 //! 2×2 interchange box; the box can pass them *straight* or *exchanged*.
 
-use serde::{Deserialize, Serialize};
-
 /// A stage of the ESC network, identified by position from the input side.
 ///
 /// For an N = 2^m network the stages are:
 /// position 0 — the **extra** stage (cube₀, bypassable);
 /// positions 1..=m — cube_{m−1} … cube₀, with the last (cube₀, the output
 /// stage) also bypassable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Stage {
     /// Position from the input, 0 = extra stage.
     pub position: u32,
@@ -24,9 +22,15 @@ impl Stage {
     /// The full stage list for an N = 2^m network.
     pub fn all(m: u32) -> Vec<Stage> {
         let mut v = Vec::with_capacity(m as usize + 1);
-        v.push(Stage { position: 0, bit: 0 }); // extra stage repeats cube_0
+        v.push(Stage {
+            position: 0,
+            bit: 0,
+        }); // extra stage repeats cube_0
         for s in 1..=m {
-            v.push(Stage { position: s, bit: m - s });
+            v.push(Stage {
+                position: s,
+                bit: m - s,
+            });
         }
         v
     }
@@ -67,9 +71,27 @@ mod tests {
         // The prototype: N = 16 => m = 4 => 5 stages of 8 boxes.
         let stages = Stage::all(4);
         assert_eq!(stages.len(), 5);
-        assert_eq!(stages[0], Stage { position: 0, bit: 0 });
-        assert_eq!(stages[1], Stage { position: 1, bit: 3 });
-        assert_eq!(stages[4], Stage { position: 4, bit: 0 });
+        assert_eq!(
+            stages[0],
+            Stage {
+                position: 0,
+                bit: 0
+            }
+        );
+        assert_eq!(
+            stages[1],
+            Stage {
+                position: 1,
+                bit: 3
+            }
+        );
+        assert_eq!(
+            stages[4],
+            Stage {
+                position: 4,
+                bit: 0
+            }
+        );
         assert!(stages[0].is_bypassable(4));
         assert!(stages[4].is_bypassable(4));
         assert!(!stages[2].is_bypassable(4));

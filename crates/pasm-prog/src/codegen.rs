@@ -48,17 +48,29 @@ pub const CNT_OUT: DataReg = DataReg::D7;
 
 /// `MOVE.W #imm,Dn` (word immediate loop-count setup).
 pub fn movei_w(v: u32, dst: DataReg) -> Instr {
-    Instr::Move { size: Size::Word, src: Ea::Imm(v), dst: Ea::D(dst) }
+    Instr::Move {
+        size: Size::Word,
+        src: Ea::Imm(v),
+        dst: Ea::D(dst),
+    }
 }
 
 /// `MOVEA.L #addr,An`.
 pub fn lea_abs(addr: u32, dst: AddrReg) -> Instr {
-    Instr::Movea { size: Size::Long, src: Ea::Imm(addr), dst }
+    Instr::Movea {
+        size: Size::Long,
+        src: Ea::Imm(addr),
+        dst,
+    }
 }
 
 /// `MOVEA.L Asrc,Adst` (pointer copy).
 pub fn movea_a(src: AddrReg, dst: AddrReg) -> Instr {
-    Instr::Movea { size: Size::Long, src: Ea::A(src), dst }
+    Instr::Movea {
+        size: Size::Long,
+        src: Ea::A(src),
+        dst,
+    }
 }
 
 /// The inner-loop body: load an A element, multiply by `bval`, add into C,
@@ -68,12 +80,26 @@ pub fn movea_a(src: AddrReg, dst: AddrReg) -> Instr {
 /// overlap ... and did not affect the values in the C matrix").
 pub fn inner_body(extra: usize) -> Vec<Instr> {
     let mut v = Vec::with_capacity(3 + extra);
-    v.push(Instr::Move { size: Size::Word, src: Ea::PostInc(A_PTR), dst: Ea::D(PROD) });
-    v.push(Instr::Mulu { src: Ea::D(BVAL), dst: PROD });
+    v.push(Instr::Move {
+        size: Size::Word,
+        src: Ea::PostInc(A_PTR),
+        dst: Ea::D(PROD),
+    });
+    v.push(Instr::Mulu {
+        src: Ea::D(BVAL),
+        dst: PROD,
+    });
     for _ in 0..extra {
-        v.push(Instr::Mulu { src: Ea::D(BVAL), dst: MUL_SCRATCH });
+        v.push(Instr::Mulu {
+            src: Ea::D(BVAL),
+            dst: MUL_SCRATCH,
+        });
     }
-    v.push(Instr::AddTo { size: Size::Word, src: PROD, dst: Ea::PostInc(C_PTR) });
+    v.push(Instr::AddTo {
+        size: Size::Word,
+        src: PROD,
+        dst: Ea::PostInc(C_PTR),
+    });
     v
 }
 
@@ -81,15 +107,31 @@ pub fn inner_body(extra: usize) -> Vec<Instr> {
 /// advance the B walker by one doubled column plus one row (4n + 2 bytes).
 pub fn v_setup(n: usize) -> Vec<Instr> {
     vec![
-        Instr::Movea { size: Size::Long, src: Ea::PostInc(TT_PTR), dst: A_PTR },
-        Instr::Move { size: Size::Word, src: Ea::Ind(B_PTR), dst: Ea::D(BVAL) },
-        Instr::Adda { size: Size::Word, src: Ea::Imm(4 * n as u32 + 2), dst: B_PTR },
+        Instr::Movea {
+            size: Size::Long,
+            src: Ea::PostInc(TT_PTR),
+            dst: A_PTR,
+        },
+        Instr::Move {
+            size: Size::Word,
+            src: Ea::Ind(B_PTR),
+            dst: Ea::D(BVAL),
+        },
+        Instr::Adda {
+            size: Size::Word,
+            src: Ea::Imm(4 * n as u32 + 2),
+            dst: B_PTR,
+        },
     ]
 }
 
 /// Per-rotation-step setup: reset the three walkers from their bases.
 pub fn j_setup() -> Vec<Instr> {
-    vec![movea_a(TT_BASE_R, TT_PTR), movea_a(C_BASE_R, C_PTR), movea_a(B_ROW, B_PTR)]
+    vec![
+        movea_a(TT_BASE_R, TT_PTR),
+        movea_a(C_BASE_R, C_PTR),
+        movea_a(B_ROW, B_PTR),
+    ]
 }
 
 /// One element of the 16-bit-over-8-bit column transfer (paper §4: two shift
@@ -100,11 +142,18 @@ pub fn j_setup() -> Vec<Instr> {
 /// Reads the outgoing element at `(A0)`, writes the incoming element back to
 /// the same slot, and advances `A0`.
 pub fn xfer_element(polls: bool, out: &mut ProgSink<'_>) {
-    out.emit(Instr::Move { size: Size::Word, src: Ea::Ind(A_PTR), dst: Ea::D(XFER_OUT) });
+    out.emit(Instr::Move {
+        size: Size::Word,
+        src: Ea::Ind(A_PTR),
+        dst: Ea::D(XFER_OUT),
+    });
     // The received low byte lands in D5 with MOVE.B, which merges only the low
     // byte — clear the word first or the previous element's high byte survives
     // the OR.
-    out.emit(Instr::Clr { size: Size::Word, dst: Ea::D(XFER_IN) });
+    out.emit(Instr::Clr {
+        size: Size::Word,
+        dst: Ea::D(XFER_IN),
+    });
     if polls {
         emit_poll(out, 1); // transmitter ready
     }
@@ -149,17 +198,39 @@ pub fn xfer_element(polls: bool, out: &mut ProgSink<'_>) {
         count: ShiftCount::Imm(8),
         dst: XFER_HI,
     });
-    out.emit(Instr::Or { size: Size::Word, src: Ea::D(XFER_HI), dst: XFER_IN });
-    out.emit(Instr::Move { size: Size::Word, src: Ea::D(XFER_IN), dst: Ea::PostInc(A_PTR) });
+    out.emit(Instr::Or {
+        size: Size::Word,
+        src: Ea::D(XFER_HI),
+        dst: XFER_IN,
+    });
+    out.emit(Instr::Move {
+        size: Size::Word,
+        src: Ea::D(XFER_IN),
+        dst: Ea::PostInc(A_PTR),
+    });
 }
 
 /// Status-register poll loop: spin until `bit` (1 = tx ready, 2 = rx valid) is
 /// set. This is the MIMD handshake the S/MIMD version replaces with a barrier.
 fn emit_poll(out: &mut ProgSink<'_>, bit: u32) {
     let top = out.here();
-    out.emit(Instr::Move { size: Size::Byte, src: pasm_machine::status_ea(), dst: Ea::D(XFER_HI) });
-    out.emit(Instr::And { size: Size::Word, src: Ea::Imm(bit), dst: XFER_HI });
-    out.branch_back(Instr::Bcc { cond: Cond::Eq, target: 0 }, top);
+    out.emit(Instr::Move {
+        size: Size::Byte,
+        src: pasm_machine::status_ea(),
+        dst: Ea::D(XFER_HI),
+    });
+    out.emit(Instr::And {
+        size: Size::Word,
+        src: Ea::Imm(bit),
+        dst: XFER_HI,
+    });
+    out.branch_back(
+        Instr::Bcc {
+            cond: Cond::Eq,
+            target: 0,
+        },
+        top,
+    );
 }
 
 /// A thin sink over `ProgramBuilder` that lets shared emitters create local
@@ -190,7 +261,13 @@ mod tests {
         assert_eq!(inner_body(14).len(), 17);
         // All added multiplies target the scratch register, never the product.
         for i in &inner_body(5)[2..7] {
-            assert_eq!(*i, Instr::Mulu { src: Ea::D(BVAL), dst: MUL_SCRATCH });
+            assert_eq!(
+                *i,
+                Instr::Mulu {
+                    src: Ea::D(BVAL),
+                    dst: MUL_SCRATCH
+                }
+            );
         }
     }
 
@@ -214,8 +291,16 @@ mod tests {
             .iter()
             .filter(|i| matches!(i, Instr::Move { src, .. } if *src == pasm_machine::drr_ea()))
             .count();
-        let shifts = p.instrs.iter().filter(|i| matches!(i, Instr::Shift { .. })).count();
-        let ors = p.instrs.iter().filter(|i| matches!(i, Instr::Or { .. })).count();
+        let shifts = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Shift { .. }))
+            .count();
+        let ors = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Or { .. }))
+            .count();
         assert_eq!((writes, reads, shifts, ors), (2, 2, 2, 1));
     }
 

@@ -43,13 +43,26 @@ pub struct Layout {
 impl Layout {
     /// Layout for the parallel (SIMD/MIMD/S-MIMD) versions.
     pub fn parallel(n: usize, p: usize) -> Layout {
-        assert!(n.is_multiple_of(p) && p >= 1, "p must divide n (n={n}, p={p})");
-        Layout { n, p, cols: n / p, b_doubled: true }
+        assert!(
+            n.is_multiple_of(p) && p >= 1,
+            "p must divide n (n={n}, p={p})"
+        );
+        Layout {
+            n,
+            p,
+            cols: n / p,
+            b_doubled: true,
+        }
     }
 
     /// Layout for the optimized serial version (everything on one PE).
     pub fn serial(n: usize) -> Layout {
-        Layout { n, p: 1, cols: n, b_doubled: false }
+        Layout {
+            n,
+            p: 1,
+            cols: n,
+            b_doubled: false,
+        }
     }
 
     /// Bytes per stored column of A or C.
@@ -122,7 +135,10 @@ impl Layout {
                 // C is cleared by the program itself (that time is measured),
                 // but zero it here too so read-back is meaningful even if a
                 // program variant skips clearing.
-                mem.clear_range(self.c_base() + v as u32 * self.col_bytes(), self.col_bytes());
+                mem.clear_range(
+                    self.c_base() + v as u32 * self.col_bytes(),
+                    self.col_bytes(),
+                );
             }
         }
     }
@@ -153,7 +169,10 @@ mod tests {
     fn layout_addresses_are_disjoint_and_ordered() {
         for (n, p) in [(8usize, 4usize), (64, 4), (256, 4), (256, 16)] {
             let l = Layout::parallel(n, p);
-            assert!(A_BASE >= TT_BASE + 4 * l.cols as u32, "TT overlaps A for n={n} p={p}");
+            assert!(
+                A_BASE >= TT_BASE + 4 * l.cols as u32,
+                "TT overlaps A for n={n} p={p}"
+            );
             assert!(l.b_base() > A_BASE);
             assert!(l.c_base() > l.b_base());
             assert!(l.end() > l.c_base());

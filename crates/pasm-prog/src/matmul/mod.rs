@@ -18,10 +18,9 @@ pub mod serial;
 pub mod simd;
 
 use pasm_machine::MachineConfig;
-use serde::{Deserialize, Serialize};
 
 /// How the communication section synchronizes (selects MIMD vs S/MIMD).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommSync {
     /// Poll the network status register before every network operation.
     Polling,
@@ -31,7 +30,7 @@ pub enum CommSync {
 }
 
 /// Common parameters of a matrix-multiplication run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatmulParams {
     /// Matrix dimension (the paper uses 4, 8, 16, 64, 128, 256).
     pub n: usize,
@@ -43,7 +42,11 @@ pub struct MatmulParams {
 
 impl MatmulParams {
     pub fn new(n: usize, p: usize) -> Self {
-        MatmulParams { n, p, extra_muls: 0 }
+        MatmulParams {
+            n,
+            p,
+            extra_muls: 0,
+        }
     }
 
     pub fn with_extra(mut self, extra: usize) -> Self {
@@ -81,17 +84,28 @@ pub fn select_vm(cfg: &MachineConfig, p: usize) -> VirtualMachine {
 pub fn select_vm_on_mcs(cfg: &MachineConfig, p: usize, mcs: &[usize]) -> VirtualMachine {
     assert!(p >= 1 && p <= cfg.n_pes, "p={p} out of range");
     assert!(p.is_power_of_two(), "p must be a power of two");
-    assert!(!mcs.is_empty() && p.is_multiple_of(mcs.len()), "MC count must divide p");
+    assert!(
+        !mcs.is_empty() && p.is_multiple_of(mcs.len()),
+        "MC count must divide p"
+    );
     assert!(mcs.iter().all(|&m| m < cfg.n_mcs), "MC id out of range");
     let per_mc = p / mcs.len();
-    assert!(per_mc <= cfg.pes_per_mc(), "p={p} exceeds the capacity of {} MC(s)", mcs.len());
+    assert!(
+        per_mc <= cfg.pes_per_mc(),
+        "p={p} exceeds the capacity of {} MC(s)",
+        mcs.len()
+    );
     let mut pes = Vec::with_capacity(p);
     for j in 0..per_mc {
         for &mc in mcs {
             pes.push(j * cfg.n_mcs + mc);
         }
     }
-    VirtualMachine { pes, mcs: mcs.to_vec(), mask: ((1u32 << per_mc) - 1) as u16 }
+    VirtualMachine {
+        pes,
+        mcs: mcs.to_vec(),
+        mask: ((1u32 << per_mc) - 1) as u16,
+    }
 }
 
 #[cfg(test)]

@@ -29,26 +29,67 @@ pub fn pe_program(params: MatmulParams) -> Program {
     b.emit(lea_abs(layout.c_base(), C_PTR));
     b.emit(movei_w((n * n - 1) as u32, CNT_MID));
     let clear = b.here("clear");
-    b.emit(Instr::Clr { size: Size::Word, dst: Ea::PostInc(C_PTR) });
-    b.branch(Instr::Dbra { dst: CNT_MID, target: 0 }, clear);
+    b.emit(Instr::Clr {
+        size: Size::Word,
+        dst: Ea::PostInc(C_PTR),
+    });
+    b.branch(
+        Instr::Dbra {
+            dst: CNT_MID,
+            target: 0,
+        },
+        clear,
+    );
 
     // c loop over C columns.
     b.emit(movei_w((n - 1) as u32, CNT_OUT));
     let cloop = b.here("cloop");
-    b.emit(Instr::Mark { begin: true, phase: PHASE_MUL });
+    b.emit(Instr::Mark {
+        begin: true,
+        phase: PHASE_MUL,
+    });
     b.emit(lea_abs(A_BASE, A_PTR)); // A is swept fully for every C column
     b.emit(movei_w((n - 1) as u32, CNT_MID));
     let kloop = b.here("kloop");
     b.emit(movea_a(C_BASE_R, C_PTR));
-    b.emit(Instr::Move { size: Size::Word, src: Ea::PostInc(B_PTR), dst: Ea::D(BVAL) });
+    b.emit(Instr::Move {
+        size: Size::Word,
+        src: Ea::PostInc(B_PTR),
+        dst: Ea::D(BVAL),
+    });
     b.emit(movei_w((n - 1) as u32, XFER_HI));
     let lloop = b.here("lloop");
     b.emit_all(inner_body(extra_muls));
-    b.branch(Instr::Dbra { dst: XFER_HI, target: 0 }, lloop);
-    b.branch(Instr::Dbra { dst: CNT_MID, target: 0 }, kloop);
-    b.emit(Instr::Mark { begin: false, phase: PHASE_MUL });
-    b.emit(Instr::Adda { size: Size::Word, src: Ea::Imm(2 * n as u32), dst: C_BASE_R });
-    b.branch(Instr::Dbra { dst: CNT_OUT, target: 0 }, cloop);
+    b.branch(
+        Instr::Dbra {
+            dst: XFER_HI,
+            target: 0,
+        },
+        lloop,
+    );
+    b.branch(
+        Instr::Dbra {
+            dst: CNT_MID,
+            target: 0,
+        },
+        kloop,
+    );
+    b.emit(Instr::Mark {
+        begin: false,
+        phase: PHASE_MUL,
+    });
+    b.emit(Instr::Adda {
+        size: Size::Word,
+        src: Ea::Imm(2 * n as u32),
+        dst: C_BASE_R,
+    });
+    b.branch(
+        Instr::Dbra {
+            dst: CNT_OUT,
+            target: 0,
+        },
+        cloop,
+    );
     b.emit(Instr::Halt);
 
     b.build().expect("serial program")
@@ -81,7 +122,11 @@ mod tests {
     fn serial_multiply_count_is_n_cubed() {
         // Static: 1 (+extras) MULU in the inner body; dynamic count is n³.
         let p = pe_program(MatmulParams::new(8, 1).with_extra(2));
-        let muls = p.instrs.iter().filter(|i| matches!(i, Instr::Mulu { .. })).count();
+        let muls = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Mulu { .. }))
+            .count();
         assert_eq!(muls, 3);
     }
 }

@@ -42,16 +42,27 @@ pub fn mc_program(params: MatmulParams, mask: u16) -> Program {
     let blk_init = b.begin_block();
     b.emit(lea_abs(TT_BASE, TT_BASE_R));
     b.emit(lea_abs(layout.c_base(), C_BASE_R));
-    b.emit(Instr::Movea { size: Size::Long, src: Ea::AbsW(PARAM_BASE as u16), dst: B_ROW });
+    b.emit(Instr::Movea {
+        size: Size::Long,
+        src: Ea::AbsW(PARAM_BASE as u16),
+        dst: B_ROW,
+    });
     b.emit(movea_a(C_BASE_R, C_PTR));
     b.end_block();
 
     // C clearing, unrolled so the PEs (not MC command issue) set the pace.
-    let unroll = 8.min(cols * n);
-    assert_eq!((cols * n) % unroll, 0);
+    // Largest factor ≤ 8 that tiles the loop exactly: 8 for the paper's
+    // power-of-two sizes, smaller when n²/p has an odd factor.
+    let unroll = (1..=8.min(cols * n))
+        .rev()
+        .find(|u| (cols * n).is_multiple_of(*u))
+        .unwrap_or(1);
     let blk_clear = b.begin_block();
     for _ in 0..unroll {
-        b.emit(Instr::Clr { size: Size::Word, dst: Ea::PostInc(C_PTR) });
+        b.emit(Instr::Clr {
+            size: Size::Word,
+            dst: Ea::PostInc(C_PTR),
+        });
     }
     b.end_block();
 
@@ -74,7 +85,11 @@ pub fn mc_program(params: MatmulParams, mask: u16) -> Program {
     b.end_block();
 
     let blk_xsetup = b.begin_block();
-    b.emit(Instr::Movea { size: Size::Long, src: Ea::Ind(TT_BASE_R), dst: A_PTR });
+    b.emit(Instr::Movea {
+        size: Size::Long,
+        src: Ea::Ind(TT_BASE_R),
+        dst: A_PTR,
+    });
     b.end_block();
 
     let blk_xfer = b.begin_block();
@@ -86,14 +101,26 @@ pub fn mc_program(params: MatmulParams, mask: u16) -> Program {
 
     let (blk_rot_save, blk_rot_step, blk_rot_fin) = if cols >= 2 {
         let save = b.begin_block();
-        b.emit(Instr::Move { size: Size::Long, src: Ea::Ind(TT_BASE_R), dst: Ea::D(XFER_OUT) });
+        b.emit(Instr::Move {
+            size: Size::Long,
+            src: Ea::Ind(TT_BASE_R),
+            dst: Ea::D(XFER_OUT),
+        });
         b.emit(movea_a(TT_BASE_R, TT_PTR));
         b.end_block();
         let step = b.begin_block();
-        b.emit(Instr::Move { size: Size::Long, src: Ea::Disp(4, TT_PTR), dst: Ea::PostInc(TT_PTR) });
+        b.emit(Instr::Move {
+            size: Size::Long,
+            src: Ea::Disp(4, TT_PTR),
+            dst: Ea::PostInc(TT_PTR),
+        });
         b.end_block();
         let fin = b.begin_block();
-        b.emit(Instr::Move { size: Size::Long, src: Ea::D(XFER_OUT), dst: Ea::Ind(TT_PTR) });
+        b.emit(Instr::Move {
+            size: Size::Long,
+            src: Ea::D(XFER_OUT),
+            dst: Ea::Ind(TT_PTR),
+        });
         b.end_block();
         (Some(save), Some(step), Some(fin))
     } else {
@@ -101,7 +128,11 @@ pub fn mc_program(params: MatmulParams, mask: u16) -> Program {
     };
 
     let blk_jend = b.begin_block();
-    b.emit(Instr::Addq { size: Size::Long, value: 2, dst: Ea::A(B_ROW) });
+    b.emit(Instr::Addq {
+        size: Size::Long,
+        value: 2,
+        dst: Ea::A(B_ROW),
+    });
     b.end_block();
 
     // Phase markers travel through the queue so they execute on the PEs'
@@ -118,7 +149,9 @@ pub fn mc_program(params: MatmulParams, mask: u16) -> Program {
     let blk_me2 = mark(&mut b, false, PHASE_COMM);
 
     let blk_done = b.begin_block();
-    b.emit(Instr::JmpMimd { target: PE_HALT_INDEX });
+    b.emit(Instr::JmpMimd {
+        target: PE_HALT_INDEX,
+    });
     b.emit(Instr::Halt); // broadcast halt is unreachable; JMPMIMD lands on the PE's own HALT
     b.end_block();
 
@@ -130,28 +163,58 @@ pub fn mc_program(params: MatmulParams, mask: u16) -> Program {
     b.emit(movei_w((cols * n / unroll - 1) as u32, CNT_MID));
     let mcclear = b.here("mcclear");
     b.emit(Instr::Enqueue { block: blk_clear.0 });
-    b.branch(Instr::Dbra { dst: CNT_MID, target: 0 }, mcclear);
+    b.branch(
+        Instr::Dbra {
+            dst: CNT_MID,
+            target: 0,
+        },
+        mcclear,
+    );
 
     b.emit(movei_w((n - 1) as u32, CNT_OUT));
     let mcj = b.here("mcj");
     b.emit(Instr::Enqueue { block: blk_mb1.0 });
-    b.emit(Instr::Enqueue { block: blk_jsetup.0 });
+    b.emit(Instr::Enqueue {
+        block: blk_jsetup.0,
+    });
     b.emit(movei_w((cols - 1) as u32, CNT_MID));
     let mcv = b.here("mcv");
-    b.emit(Instr::Enqueue { block: blk_vsetup.0 });
+    b.emit(Instr::Enqueue {
+        block: blk_vsetup.0,
+    });
     b.emit(movei_w((n - 1) as u32, XFER_HI));
     let mcl = b.here("mcl");
     b.emit(Instr::Enqueue { block: blk_inner.0 });
-    b.branch(Instr::Dbra { dst: XFER_HI, target: 0 }, mcl);
-    b.branch(Instr::Dbra { dst: CNT_MID, target: 0 }, mcv);
+    b.branch(
+        Instr::Dbra {
+            dst: XFER_HI,
+            target: 0,
+        },
+        mcl,
+    );
+    b.branch(
+        Instr::Dbra {
+            dst: CNT_MID,
+            target: 0,
+        },
+        mcv,
+    );
     b.emit(Instr::Enqueue { block: blk_me1.0 });
 
     b.emit(Instr::Enqueue { block: blk_mb2.0 });
-    b.emit(Instr::Enqueue { block: blk_xsetup.0 });
+    b.emit(Instr::Enqueue {
+        block: blk_xsetup.0,
+    });
     b.emit(movei_w((n - 1) as u32, CNT_MID));
     let mcx = b.here("mcx");
     b.emit(Instr::Enqueue { block: blk_xfer.0 });
-    b.branch(Instr::Dbra { dst: CNT_MID, target: 0 }, mcx);
+    b.branch(
+        Instr::Dbra {
+            dst: CNT_MID,
+            target: 0,
+        },
+        mcx,
+    );
     b.emit(Instr::Enqueue { block: blk_me2.0 });
 
     if let (Some(save), Some(step), Some(fin)) = (blk_rot_save, blk_rot_step, blk_rot_fin) {
@@ -159,12 +222,24 @@ pub fn mc_program(params: MatmulParams, mask: u16) -> Program {
         b.emit(movei_w((cols - 2) as u32, CNT_MID));
         let mcr = b.here("mcr");
         b.emit(Instr::Enqueue { block: step.0 });
-        b.branch(Instr::Dbra { dst: CNT_MID, target: 0 }, mcr);
+        b.branch(
+            Instr::Dbra {
+                dst: CNT_MID,
+                target: 0,
+            },
+            mcr,
+        );
         b.emit(Instr::Enqueue { block: fin.0 });
     }
 
     b.emit(Instr::Enqueue { block: blk_jend.0 });
-    b.branch(Instr::Dbra { dst: CNT_OUT, target: 0 }, mcj);
+    b.branch(
+        Instr::Dbra {
+            dst: CNT_OUT,
+            target: 0,
+        },
+        mcj,
+    );
 
     b.emit(Instr::Enqueue { block: blk_done.0 });
     b.emit(Instr::Halt);
@@ -184,7 +259,14 @@ mod tests {
 
     #[test]
     fn mc_program_builds_for_paper_sizes() {
-        for (n, p) in [(4usize, 4usize), (8, 4), (8, 8), (16, 16), (64, 4), (256, 4)] {
+        for (n, p) in [
+            (4usize, 4usize),
+            (8, 4),
+            (8, 8),
+            (16, 16),
+            (64, 4),
+            (256, 4),
+        ] {
             let prog = mc_program(MatmulParams::new(n, p), 0xF);
             prog.validate().unwrap();
             assert!(prog.blocks.len() >= 10, "n={n} p={p}");
@@ -213,6 +295,9 @@ mod tests {
     fn mc_main_has_no_pe_arithmetic() {
         // Control/enqueue only in the main stream: the paper's separation.
         let prog = mc_program(MatmulParams::new(16, 4), 0xF);
-        assert!(!prog.instrs.iter().any(|i| matches!(i, Instr::Mulu { .. } | Instr::AddTo { .. })));
+        assert!(!prog
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Mulu { .. } | Instr::AddTo { .. })));
     }
 }

@@ -22,9 +22,11 @@ pub enum MipsKind {
 impl MipsKind {
     fn instr(self) -> Instr {
         match self {
-            MipsKind::AddRegister => {
-                Instr::Add { size: Size::Word, src: Ea::D(DataReg::D1), dst: DataReg::D0 }
-            }
+            MipsKind::AddRegister => Instr::Add {
+                size: Size::Word,
+                src: Ea::D(DataReg::D1),
+                dst: DataReg::D0,
+            },
             MipsKind::MoveMemory => Instr::Move {
                 size: Size::Word,
                 src: Ea::Ind(pasm_isa::AddrReg::A0),
@@ -59,7 +61,13 @@ pub fn mimd_program(kind: MipsKind, unroll: usize, reps: usize) -> Program {
     for _ in 0..unroll {
         b.emit(kind.instr());
     }
-    b.branch(Instr::Dbra { dst: DataReg::D7, target: 0 }, top);
+    b.branch(
+        Instr::Dbra {
+            dst: DataReg::D7,
+            target: 0,
+        },
+        top,
+    );
     b.emit(Instr::Halt);
     b.build().expect("MIPS MIMD program")
 }
@@ -91,7 +99,13 @@ pub fn simd_programs(kind: MipsKind, unroll: usize, reps: usize, mask: u16) -> (
     b.emit(movei_w(reps as u32 - 1, DataReg::D7));
     let top = b.here("top");
     b.emit(Instr::Enqueue { block: body.0 });
-    b.branch(Instr::Dbra { dst: DataReg::D7, target: 0 }, top);
+    b.branch(
+        Instr::Dbra {
+            dst: DataReg::D7,
+            target: 0,
+        },
+        top,
+    );
     b.emit(Instr::Enqueue { block: done.0 });
     b.emit(Instr::Halt);
     (pe, b.build().expect("MIPS MC program"))
@@ -105,7 +119,11 @@ mod tests {
     fn mimd_program_shape() {
         let p = mimd_program(MipsKind::AddRegister, 16, 10);
         p.validate().unwrap();
-        let adds = p.instrs.iter().filter(|i| matches!(i, Instr::Add { .. })).count();
+        let adds = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Add { .. }))
+            .count();
         assert_eq!(adds, 16);
         assert_eq!(measured_instrs(16, 10), 160);
     }
@@ -115,7 +133,10 @@ mod tests {
         let (pe, mc) = simd_programs(MipsKind::MoveMemory, 16, 10, 0xF);
         assert_eq!(pe.instrs.len(), 2);
         mc.validate().unwrap();
-        let moves = mc.blocks[1].iter().filter(|i| matches!(i, Instr::Move { .. })).count();
+        let moves = mc.blocks[1]
+            .iter()
+            .filter(|i| matches!(i, Instr::Move { .. }))
+            .count();
         assert_eq!(moves, 16);
     }
 

@@ -34,7 +34,10 @@ pub struct ReduceParams {
 
 /// Host reference: wrapping 16-bit sum of all blocks.
 pub fn reference_sum(blocks: &[Vec<u16>]) -> u16 {
-    blocks.iter().flatten().fold(0u16, |a, &v| a.wrapping_add(v))
+    blocks
+        .iter()
+        .flatten()
+        .fold(0u16, |a, &v| a.wrapping_add(v))
 }
 
 /// Emit the two-byte ring transfer of `D4`, receiving into `D5`
@@ -43,15 +46,26 @@ fn emit_exchange(sink: &mut ProgSink<'_>, polls: bool) {
     // Reuse the matmul element protocol but on a register, not memory:
     // send low, receive low, send high, receive high, reassemble.
     use pasm_machine::{drr_ea, dtr_ea};
-    sink.emit(Instr::Clr { size: Size::Word, dst: Ea::D(XFER_IN) });
+    sink.emit(Instr::Clr {
+        size: Size::Word,
+        dst: Ea::D(XFER_IN),
+    });
     if polls {
         emit_status_poll(sink, TX_READY_BIT);
     }
-    sink.emit(Instr::Move { size: Size::Byte, src: Ea::D(XFER_OUT), dst: dtr_ea() });
+    sink.emit(Instr::Move {
+        size: Size::Byte,
+        src: Ea::D(XFER_OUT),
+        dst: dtr_ea(),
+    });
     if polls {
         emit_status_poll(sink, RX_VALID_BIT);
     }
-    sink.emit(Instr::Move { size: Size::Byte, src: drr_ea(), dst: Ea::D(XFER_IN) });
+    sink.emit(Instr::Move {
+        size: Size::Byte,
+        src: drr_ea(),
+        dst: Ea::D(XFER_IN),
+    });
     sink.emit(Instr::Shift {
         kind: pasm_isa::ShiftKind::Lsr,
         size: Size::Word,
@@ -61,26 +75,47 @@ fn emit_exchange(sink: &mut ProgSink<'_>, polls: bool) {
     if polls {
         emit_status_poll(sink, TX_READY_BIT);
     }
-    sink.emit(Instr::Move { size: Size::Byte, src: Ea::D(XFER_OUT), dst: dtr_ea() });
+    sink.emit(Instr::Move {
+        size: Size::Byte,
+        src: Ea::D(XFER_OUT),
+        dst: dtr_ea(),
+    });
     if polls {
         emit_status_poll(sink, RX_VALID_BIT);
     }
-    sink.emit(Instr::Move { size: Size::Byte, src: drr_ea(), dst: Ea::D(XFER_HI) });
+    sink.emit(Instr::Move {
+        size: Size::Byte,
+        src: drr_ea(),
+        dst: Ea::D(XFER_HI),
+    });
     sink.emit(Instr::Shift {
         kind: pasm_isa::ShiftKind::Lsl,
         size: Size::Word,
         count: pasm_isa::ShiftCount::Imm(8),
         dst: XFER_HI,
     });
-    sink.emit(Instr::Or { size: Size::Word, src: Ea::D(XFER_HI), dst: XFER_IN });
+    sink.emit(Instr::Or {
+        size: Size::Word,
+        src: Ea::D(XFER_HI),
+        dst: XFER_IN,
+    });
 }
 
 /// Status poll using `BTST` (tighter than the AND/BEQ idiom of the matmul —
 /// both protocols existed on the prototype).
 fn emit_status_poll(sink: &mut ProgSink<'_>, bit: u8) {
     let top = sink.here();
-    sink.emit(Instr::Btst { bit, dst: pasm_machine::status_ea() });
-    sink.branch_back(Instr::Bcc { cond: pasm_isa::Cond::Eq, target: 0 }, top);
+    sink.emit(Instr::Btst {
+        bit,
+        dst: pasm_machine::status_ea(),
+    });
+    sink.branch_back(
+        Instr::Bcc {
+            cond: pasm_isa::Cond::Eq,
+            target: 0,
+        },
+        top,
+    );
 }
 
 /// PE program for the MIMD (polling) and S/MIMD (barrier) variants.
@@ -91,14 +126,31 @@ pub fn pe_program(params: ReduceParams, sync: CommSync) -> Program {
 
     // Local sum.
     b.emit(lea_abs(VEC_BASE, A_PTR));
-    b.emit(Instr::Clr { size: Size::Word, dst: Ea::D(PROD) });
+    b.emit(Instr::Clr {
+        size: Size::Word,
+        dst: Ea::D(PROD),
+    });
     b.emit(movei_w(k as u32 - 1, CNT_MID));
     let lsum = b.here("lsum");
-    b.emit(Instr::Add { size: Size::Word, src: Ea::PostInc(A_PTR), dst: PROD });
-    b.branch(Instr::Dbra { dst: CNT_MID, target: 0 }, lsum);
+    b.emit(Instr::Add {
+        size: Size::Word,
+        src: Ea::PostInc(A_PTR),
+        dst: PROD,
+    });
+    b.branch(
+        Instr::Dbra {
+            dst: CNT_MID,
+            target: 0,
+        },
+        lsum,
+    );
 
     // Ring accumulation: forward what arrived, add it, p-1 times.
-    b.emit(Instr::Move { size: Size::Word, src: Ea::D(PROD), dst: Ea::D(XFER_OUT) });
+    b.emit(Instr::Move {
+        size: Size::Word,
+        src: Ea::D(PROD),
+        dst: Ea::D(XFER_OUT),
+    });
     b.emit(movei_w(p as u32 - 2, CNT_OUT));
     let step = b.here("step");
     if sync == CommSync::Barrier {
@@ -108,9 +160,23 @@ pub fn pe_program(params: ReduceParams, sync: CommSync) -> Program {
         let mut sink = ProgSink { b: &mut b };
         emit_exchange(&mut sink, sync == CommSync::Polling);
     }
-    b.emit(Instr::Add { size: Size::Word, src: Ea::D(XFER_IN), dst: PROD });
-    b.emit(Instr::Move { size: Size::Word, src: Ea::D(XFER_IN), dst: Ea::D(XFER_OUT) });
-    b.branch(Instr::Dbra { dst: CNT_OUT, target: 0 }, step);
+    b.emit(Instr::Add {
+        size: Size::Word,
+        src: Ea::D(XFER_IN),
+        dst: PROD,
+    });
+    b.emit(Instr::Move {
+        size: Size::Word,
+        src: Ea::D(XFER_IN),
+        dst: Ea::D(XFER_OUT),
+    });
+    b.branch(
+        Instr::Dbra {
+            dst: CNT_OUT,
+            target: 0,
+        },
+        step,
+    );
 
     b.emit(Instr::Move {
         size: Size::Word,
@@ -126,7 +192,9 @@ pub fn mc_program(params: ReduceParams, sync: CommSync, mask: u16) -> Program {
     let mut b = ProgramBuilder::new();
     b.emit(Instr::SetMask { mask });
     if sync == CommSync::Barrier {
-        b.emit(Instr::EnqueueWords { count: params.p as u16 - 1 });
+        b.emit(Instr::EnqueueWords {
+            count: params.p as u16 - 1,
+        });
     }
     b.emit(Instr::StartPes);
     b.emit(Instr::Halt);
@@ -147,15 +215,26 @@ pub fn simd_programs(params: ReduceParams, mask: u16) -> (Program, Program) {
     let mut b = ProgramBuilder::new();
     let init = b.begin_block();
     b.emit(lea_abs(VEC_BASE, A_PTR));
-    b.emit(Instr::Clr { size: Size::Word, dst: Ea::D(PROD) });
+    b.emit(Instr::Clr {
+        size: Size::Word,
+        dst: Ea::D(PROD),
+    });
     b.end_block();
 
     let add = b.begin_block();
-    b.emit(Instr::Add { size: Size::Word, src: Ea::PostInc(A_PTR), dst: PROD });
+    b.emit(Instr::Add {
+        size: Size::Word,
+        src: Ea::PostInc(A_PTR),
+        dst: PROD,
+    });
     b.end_block();
 
     let ring_init = b.begin_block();
-    b.emit(Instr::Move { size: Size::Word, src: Ea::D(PROD), dst: Ea::D(XFER_OUT) });
+    b.emit(Instr::Move {
+        size: Size::Word,
+        src: Ea::D(PROD),
+        dst: Ea::D(XFER_OUT),
+    });
     b.end_block();
 
     let exch = b.begin_block();
@@ -163,12 +242,24 @@ pub fn simd_programs(params: ReduceParams, mask: u16) -> (Program, Program) {
         let mut sink = ProgSink { b: &mut b };
         emit_exchange(&mut sink, false);
     }
-    b.emit(Instr::Add { size: Size::Word, src: Ea::D(XFER_IN), dst: PROD });
-    b.emit(Instr::Move { size: Size::Word, src: Ea::D(XFER_IN), dst: Ea::D(XFER_OUT) });
+    b.emit(Instr::Add {
+        size: Size::Word,
+        src: Ea::D(XFER_IN),
+        dst: PROD,
+    });
+    b.emit(Instr::Move {
+        size: Size::Word,
+        src: Ea::D(XFER_IN),
+        dst: Ea::D(XFER_OUT),
+    });
     b.end_block();
 
     let done = b.begin_block();
-    b.emit(Instr::Move { size: Size::Word, src: Ea::D(PROD), dst: Ea::AbsW(RESULT_ADDR as u16) });
+    b.emit(Instr::Move {
+        size: Size::Word,
+        src: Ea::D(PROD),
+        dst: Ea::AbsW(RESULT_ADDR as u16),
+    });
     b.emit(Instr::JmpMimd { target: 1 });
     b.end_block();
 
@@ -178,12 +269,24 @@ pub fn simd_programs(params: ReduceParams, mask: u16) -> (Program, Program) {
     b.emit(movei_w(k as u32 - 1, DataReg::D6));
     let l = b.here("mcsum");
     b.emit(Instr::Enqueue { block: add.0 });
-    b.branch(Instr::Dbra { dst: DataReg::D6, target: 0 }, l);
+    b.branch(
+        Instr::Dbra {
+            dst: DataReg::D6,
+            target: 0,
+        },
+        l,
+    );
     b.emit(Instr::Enqueue { block: ring_init.0 });
     b.emit(movei_w(p as u32 - 2, DataReg::D7));
     let s = b.here("mcstep");
     b.emit(Instr::Enqueue { block: exch.0 });
-    b.branch(Instr::Dbra { dst: DataReg::D7, target: 0 }, s);
+    b.branch(
+        Instr::Dbra {
+            dst: DataReg::D7,
+            target: 0,
+        },
+        s,
+    );
     b.emit(Instr::Enqueue { block: done.0 });
     b.emit(Instr::Halt);
     (pe, b.build().expect("SIMD reduction MC program"))
@@ -196,8 +299,12 @@ mod tests {
     #[test]
     fn programs_build_for_ring_sizes() {
         for p in [2usize, 4, 8, 16] {
-            pe_program(ReduceParams { k: 32, p }, CommSync::Polling).validate().unwrap();
-            pe_program(ReduceParams { k: 32, p }, CommSync::Barrier).validate().unwrap();
+            pe_program(ReduceParams { k: 32, p }, CommSync::Polling)
+                .validate()
+                .unwrap();
+            pe_program(ReduceParams { k: 32, p }, CommSync::Barrier)
+                .validate()
+                .unwrap();
             let (pe, mc) = simd_programs(ReduceParams { k: 32, p }, 0xF);
             pe.validate().unwrap();
             mc.validate().unwrap();
@@ -216,6 +323,12 @@ mod tests {
         assert!(p.instrs.iter().any(|i| matches!(i, Instr::Btst { .. })));
         let q = pe_program(ReduceParams { k: 8, p: 4 }, CommSync::Barrier);
         assert!(!q.instrs.iter().any(|i| matches!(i, Instr::Btst { .. })));
-        assert_eq!(q.instrs.iter().filter(|i| matches!(i, Instr::Barrier)).count(), 1);
+        assert_eq!(
+            q.instrs
+                .iter()
+                .filter(|i| matches!(i, Instr::Barrier))
+                .count(),
+            1
+        );
     }
 }

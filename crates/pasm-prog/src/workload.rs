@@ -8,13 +8,11 @@
 //! ablation benchmarks control *how much* timing variance the multiplier data
 //! carries, by drawing values with a fixed number of one-bits.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use pasm_util::Rng;
 
 /// A dense n×n matrix of 16-bit unsigned integers (row-major storage on the
 /// host; the PEs hold it column-major).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Matrix {
     pub n: usize,
     data: Vec<u16>,
@@ -23,7 +21,10 @@ pub struct Matrix {
 impl Matrix {
     /// The zero matrix.
     pub fn zero(n: usize) -> Self {
-        Matrix { n, data: vec![0; n * n] }
+        Matrix {
+            n,
+            data: vec![0; n * n],
+        }
     }
 
     /// The identity matrix (the paper's A operand).
@@ -37,8 +38,11 @@ impl Matrix {
 
     /// Uniform random 16-bit entries from a seeded generator (the paper's B).
     pub fn uniform(n: usize, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        Matrix { n, data: (0..n * n).map(|_| rng.gen::<u16>()).collect() }
+        let mut rng = Rng::seed_from_u64(seed);
+        Matrix {
+            n,
+            data: (0..n * n).map(|_| rng.gen_u16()).collect(),
+        }
     }
 
     /// Random entries with exactly `ones` one-bits each (0 ≤ ones ≤ 16), so a
@@ -46,16 +50,18 @@ impl Matrix {
     /// bit-density ablation.
     pub fn bit_density(n: usize, ones: u32, seed: u64) -> Self {
         assert!(ones <= 16, "a 16-bit value has at most 16 one-bits");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let data = (0..n * n)
             .map(|_| {
                 // Sample a random 16-bit pattern with the requested popcount.
                 let mut bits: [u8; 16] = std::array::from_fn(|i| i as u8);
                 for i in (1..16).rev() {
-                    let j = rng.gen_range(0..=i);
+                    let j = rng.gen_range(i + 1);
                     bits.swap(i, j);
                 }
-                bits[..ones as usize].iter().fold(0u16, |acc, &b| acc | (1 << b))
+                bits[..ones as usize]
+                    .iter()
+                    .fold(0u16, |acc, &b| acc | (1 << b))
             })
             .collect();
         Matrix { n, data }

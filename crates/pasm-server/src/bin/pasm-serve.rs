@@ -1,0 +1,101 @@
+//! `pasm-serve` — run the PASM simulation service.
+//!
+//! ```text
+//! pasm-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!            [--cache-capacity N] [--log FILE]
+//! ```
+
+use pasm_server::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pasm-serve — batched, cache-backed PASM simulation service
+
+USAGE:
+    pasm-serve [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT      bind address           [default: 127.0.0.1:8471]
+    --workers N           simulation workers     [default: host parallelism]
+    --queue-depth N       admission queue bound  [default: 256]
+    --cache-capacity N    result cache entries   [default: 4096]
+    --log FILE            append one JSONL line per completed job
+    -h, --help            print this help
+";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be a positive integer".to_string())?;
+                if cfg.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth must be a positive integer".to_string())?;
+            }
+            "--cache-capacity" => {
+                cfg.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity must be a positive integer".to_string())?;
+            }
+            "--log" => cfg.log_path = Some(PathBuf::from(value("--log")?)),
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let workers = cfg.workers;
+    let queue_depth = cfg.queue_depth;
+    let server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: failed to start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "pasm-serve listening on http://{} ({workers} workers, queue depth {queue_depth})",
+        server.addr()
+    );
+    eprintln!(
+        "endpoints: POST /submit, GET /status/<id>, GET /result/<id>, POST /cancel/<id>, GET /healthz, GET /stats"
+    );
+
+    // Serve until the process is killed; the drain path is exercised through
+    // the library API (tests call `Server::shutdown`). Parking the main
+    // thread keeps the accept loop and workers alive.
+    loop {
+        std::thread::park();
+    }
+}

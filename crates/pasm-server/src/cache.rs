@@ -1,0 +1,158 @@
+//! The content-addressed result cache.
+//!
+//! The simulator is deterministic: an [`ExperimentKey`] — machine config,
+//! mode, parameters, workload seed — fully determines the result, so a
+//! repeated figure request (the dominant access pattern: every figure sweep
+//! re-runs the same `(n, p)` grid) can be served without re-simulating.
+//! Entries are shared `Arc`s; eviction is FIFO once `capacity` distinct keys
+//! are resident, which is enough for a working set of figure grids without
+//! the bookkeeping of LRU.
+
+use pasm::{ExperimentKey, ExperimentResult};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Inner {
+    map: HashMap<ExperimentKey, Arc<ExperimentResult>>,
+    order: VecDeque<ExperimentKey>,
+}
+
+/// Thread-safe keyed result store with hit/miss accounting.
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a key, counting the outcome.
+    pub fn get(&self, key: &ExperimentKey) -> Option<Arc<ExperimentResult>> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.map.get(key) {
+            Some(hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(hit))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Peek without touching the counters (used by duplicate-submission
+    /// coalescing on the worker path, which already counted its miss).
+    pub fn peek(&self, key: &ExperimentKey) -> Option<Arc<ExperimentResult>> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.map.get(key).map(Arc::clone)
+    }
+
+    /// Insert a freshly computed result, evicting the oldest entry if full.
+    pub fn insert(&self, key: ExperimentKey, result: Arc<ExperimentResult>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.map.insert(key.clone(), result).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.map.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn entries(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasm::{MachineConfig, Mode, Params};
+
+    fn key(n: usize) -> ExperimentKey {
+        ExperimentKey {
+            config: MachineConfig::small(),
+            mode: Mode::Simd,
+            params: Params::new(n, 4),
+            seed: 1,
+        }
+    }
+
+    fn result(n: usize) -> Arc<ExperimentResult> {
+        Arc::new(ExperimentResult {
+            mode: Mode::Simd,
+            n,
+            p: 4,
+            extra_muls: 0,
+            seed: 1,
+            cycles: 100,
+            millis: 0.0125,
+            multiply_cycles: 50,
+            communication_cycles: 25,
+            pe_instrs: 10,
+            c_checksum: 0,
+        })
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = ResultCache::new(8);
+        assert!(cache.get(&key(4)).is_none());
+        cache.insert(key(4), result(4));
+        assert_eq!(cache.get(&key(4)).unwrap().n, 4);
+        assert!(cache.get(&key(8)).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let cache = ResultCache::new(2);
+        cache.insert(key(4), result(4));
+        cache.insert(key(8), result(8));
+        cache.insert(key(16), result(16));
+        assert_eq!(cache.entries(), 2);
+        assert!(cache.peek(&key(4)).is_none(), "oldest entry evicted");
+        assert!(cache.peek(&key(16)).is_some());
+    }
+
+    #[test]
+    fn different_configs_are_different_keys() {
+        let cache = ResultCache::new(8);
+        cache.insert(key(4), result(4));
+        let other = ExperimentKey {
+            config: MachineConfig::prototype(),
+            ..key(4)
+        };
+        assert!(cache.peek(&other).is_none());
+        assert_ne!(key(4).fingerprint(), other.fingerprint());
+    }
+}

@@ -1,0 +1,265 @@
+//! Wire types of the simulation service: job specifications in, job states
+//! and results out. Everything crosses the wire as JSON through
+//! `pasm_util::json`; validation happens here so the simulator's internal
+//! `assert!`s never fire on user input.
+
+use pasm::{ExperimentKey, Mode, Params};
+use pasm_machine::{MachineConfig, ReleaseMode};
+use pasm_util::Json;
+
+/// Default workload seed (the paper's).
+pub const DEFAULT_SEED: u64 = pasm::figures::DEFAULT_SEED;
+
+/// A validated submission: what to simulate and how long the client will wait.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    pub key: ExperimentKey,
+    /// Wall-clock admission deadline in milliseconds from submission: a job
+    /// still waiting in the queue when it expires is dropped as `expired`
+    /// rather than simulated for nobody.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A client-facing rejection: HTTP status plus a stable error code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest {
+    pub message: String,
+}
+
+impl BadRequest {
+    fn new(message: impl Into<String>) -> Self {
+        BadRequest {
+            message: message.into(),
+        }
+    }
+}
+
+fn field_u64(body: &Json, name: &str, default: u64) -> Result<u64, BadRequest> {
+    match body.get(name) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| BadRequest::new(format!("`{name}` must be a non-negative integer"))),
+    }
+}
+
+fn field_usize(body: &Json, name: &str) -> Result<Option<usize>, BadRequest> {
+    match body.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_usize()
+            .map(Some)
+            .ok_or_else(|| BadRequest::new(format!("`{name}` must be a non-negative integer"))),
+    }
+}
+
+impl JobSpec {
+    /// Parse and validate a `submit` request body.
+    pub fn from_json(body: &Json) -> Result<JobSpec, BadRequest> {
+        if !matches!(body, Json::Obj(_)) {
+            return Err(BadRequest::new("request body must be a JSON object"));
+        }
+        let mode_str = body
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or_else(|| BadRequest::new("`mode` is required (serial|simd|mimd|smimd)"))?;
+        let mode = Mode::parse(mode_str)
+            .ok_or_else(|| BadRequest::new(format!("unknown mode `{mode_str}`")))?;
+        let n = field_usize(body, "n")?.ok_or_else(|| BadRequest::new("`n` is required"))?;
+        let p = match mode {
+            Mode::Serial => 1,
+            _ => field_usize(body, "p")?.unwrap_or(4),
+        };
+        let extra_muls = field_usize(body, "extra_muls")?.unwrap_or(0);
+        let seed = field_u64(body, "seed", DEFAULT_SEED)?;
+        let deadline_ms = match body.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| BadRequest::new("`deadline_ms` must be an integer"))?,
+            ),
+        };
+        let config = machine_config(body.get("config"))?;
+
+        // Re-state the simulator's own invariants as client errors.
+        if n == 0 || n > 512 {
+            return Err(BadRequest::new("`n` must be in 1..=512"));
+        }
+        if !p.is_power_of_two() || p > config.n_pes {
+            return Err(BadRequest::new(format!(
+                "`p` must be a power of two ≤ n_pes (= {})",
+                config.n_pes
+            )));
+        }
+        if mode != Mode::Serial && !n.is_multiple_of(p) {
+            return Err(BadRequest::new("`p` must divide `n`"));
+        }
+        if mode != Mode::Serial && n < p {
+            return Err(BadRequest::new("`n` must be at least `p`"));
+        }
+
+        Ok(JobSpec {
+            key: ExperimentKey {
+                config,
+                mode,
+                params: Params { n, p, extra_muls },
+                seed,
+            },
+            deadline_ms,
+        })
+    }
+}
+
+/// Build the machine configuration from the optional `config` member:
+/// `{"preset": "prototype"|"small", "release_mode": ..., "queue_capacity_words": ...}`.
+fn machine_config(spec: Option<&Json>) -> Result<MachineConfig, BadRequest> {
+    let mut cfg = MachineConfig::prototype();
+    let Some(spec) = spec else { return Ok(cfg) };
+    if matches!(spec, Json::Null) {
+        return Ok(cfg);
+    }
+    if !matches!(spec, Json::Obj(_)) {
+        return Err(BadRequest::new("`config` must be a JSON object"));
+    }
+    if let Some(preset) = spec.get("preset") {
+        cfg = match preset.as_str() {
+            Some("prototype") => MachineConfig::prototype(),
+            Some("small") => MachineConfig::small(),
+            _ => {
+                return Err(BadRequest::new(
+                    "`config.preset` must be \"prototype\" or \"small\"",
+                ))
+            }
+        };
+    }
+    if let Some(rm) = spec.get("release_mode") {
+        cfg.release_mode = match rm.as_str().map(str::to_ascii_lowercase).as_deref() {
+            Some("lockstep") => ReleaseMode::Lockstep,
+            Some("decoupled") => ReleaseMode::Decoupled,
+            _ => {
+                return Err(BadRequest::new(
+                    "`config.release_mode` must be \"lockstep\" or \"decoupled\"",
+                ))
+            }
+        };
+    }
+    if let Some(cap) = field_usize(spec, "queue_capacity_words")? {
+        if !(4..=1 << 20).contains(&cap) {
+            return Err(BadRequest::new(
+                "`config.queue_capacity_words` must be in 4..=1048576",
+            ));
+        }
+        cfg.queue_capacity_words = cap as u32;
+    }
+    Ok(cfg)
+}
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Canceled,
+    Expired,
+}
+
+impl JobStatus {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Canceled => "canceled",
+            JobStatus::Expired => "expired",
+        }
+    }
+
+    /// Terminal states never change again.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobStatus::Queued | JobStatus::Running)
+    }
+}
+
+/// Standard error body: `{"error": code, "message": ...}`.
+pub fn error_body(code: &str, message: &str) -> Json {
+    Json::obj(vec![
+        ("error", Json::Str(code.to_string())),
+        ("message", Json::Str(message.to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasm_util::json::parse;
+
+    #[test]
+    fn minimal_submit_parses_with_defaults() {
+        let spec = JobSpec::from_json(&parse(r#"{"mode":"simd","n":16}"#).unwrap()).unwrap();
+        assert_eq!(spec.key.mode, Mode::Simd);
+        assert_eq!(spec.key.params.n, 16);
+        assert_eq!(spec.key.params.p, 4);
+        assert_eq!(spec.key.seed, DEFAULT_SEED);
+        assert_eq!(spec.key.config, MachineConfig::prototype());
+        assert_eq!(spec.deadline_ms, None);
+    }
+
+    #[test]
+    fn serial_forces_p_1() {
+        let spec =
+            JobSpec::from_json(&parse(r#"{"mode":"serial","n":10,"p":8}"#).unwrap()).unwrap();
+        assert_eq!(spec.key.params.p, 1);
+    }
+
+    #[test]
+    fn full_submit_parses() {
+        let body = parse(
+            r#"{"mode":"smimd","n":64,"p":8,"extra_muls":14,"seed":7,"deadline_ms":5000,
+                "config":{"preset":"prototype","release_mode":"decoupled","queue_capacity_words":64}}"#,
+        )
+        .unwrap();
+        let spec = JobSpec::from_json(&body).unwrap();
+        assert_eq!(spec.key.params.extra_muls, 14);
+        assert_eq!(spec.key.config.release_mode, ReleaseMode::Decoupled);
+        assert_eq!(spec.key.config.queue_capacity_words, 64);
+        assert_eq!(spec.deadline_ms, Some(5000));
+    }
+
+    #[test]
+    fn invalid_submissions_are_client_errors() {
+        for (body, why) in [
+            (r#"{"n":16}"#, "missing mode"),
+            (r#"{"mode":"warp","n":16}"#, "unknown mode"),
+            (r#"{"mode":"simd"}"#, "missing n"),
+            (r#"{"mode":"simd","n":16,"p":3}"#, "non-power-of-two p"),
+            (r#"{"mode":"simd","n":18,"p":4}"#, "p does not divide n"),
+            (r#"{"mode":"simd","n":16,"p":32}"#, "p exceeds n_pes"),
+            (
+                r#"{"mode":"simd","n":16,"config":{"preset":"huge"}}"#,
+                "bad preset",
+            ),
+            (r#"{"mode":"simd","n":16,"seed":-4}"#, "negative seed"),
+            (r#"[1,2]"#, "not an object"),
+        ] {
+            assert!(
+                JobSpec::from_json(&parse(body).unwrap()).is_err(),
+                "{why}: {body}"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_specs_have_equal_fingerprints() {
+        let a = JobSpec::from_json(&parse(r#"{"mode":"mimd","n":32,"p":4}"#).unwrap()).unwrap();
+        let b = JobSpec::from_json(&parse(r#"{"mode":"mimd","n":32,"p":4,"seed":1988}"#).unwrap())
+            .unwrap();
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.key.fingerprint(), b.key.fingerprint());
+        let c = JobSpec::from_json(&parse(r#"{"mode":"mimd","n":32,"p":4,"seed":2}"#).unwrap())
+            .unwrap();
+        assert_ne!(a.key.fingerprint(), c.key.fingerprint());
+    }
+}

@@ -1,0 +1,150 @@
+//! The bounded admission queue: backpressure instead of unbounded memory.
+//!
+//! Admission control is deliberately separate from execution (the worker
+//! pool): `try_push` answers *whether* the service accepts a job — and
+//! answers **no**, immediately, when `capacity` jobs are already waiting —
+//! while `pop_blocking` hands admitted jobs to workers in FIFO order.
+//! Rejected submissions surface to clients as `429 queue_full`, so a
+//! saturated service degrades into fast, explicit rejections rather than
+//! growing latency and memory without bound.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Returned by [`JobQueue::try_push`] when the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+struct Inner {
+    items: VecDeque<u64>,
+    closed: bool,
+}
+
+/// A bounded FIFO of job ids, closable for graceful drain.
+pub struct JobQueue {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting (not yet picked up by a worker).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit a job, or reject immediately if full or shutting down.
+    pub fn try_push(&self, job_id: u64) -> Result<(), QueueFull> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        inner.items.push_back(job_id);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Next job in FIFO order; blocks while the queue is open and empty.
+    /// Returns `None` only when the queue is closed **and** drained — after
+    /// which every worker can exit knowing no admitted job was dropped.
+    pub fn pop_blocking(&self) -> Option<u64> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(id) = inner.items.pop_front() {
+                return Some(id);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Remove a specific queued job (cancellation). Returns whether it was
+    /// still waiting.
+    pub fn remove(&self, job_id: u64) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let before = inner.items.len();
+        inner.items.retain(|&id| id != job_id);
+        inner.items.len() != before
+    }
+
+    /// Stop admitting; wake all waiting workers. Already-admitted jobs are
+    /// still handed out (graceful drain).
+    pub fn close(&self) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(QueueFull));
+        assert_eq!(q.pop_blocking(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop_blocking(), Some(2));
+        assert_eq!(q.pop_blocking(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = Arc::new(JobQueue::new(8));
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(QueueFull));
+        assert_eq!(q.pop_blocking(), Some(1));
+        assert_eq!(q.pop_blocking(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q = Arc::new(JobQueue::new(8));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop_blocking());
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn cancellation_removes_queued() {
+        let q = JobQueue::new(8);
+        q.try_push(7).unwrap();
+        assert!(q.remove(7));
+        assert!(!q.remove(7));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,571 @@
+//! The simulation service itself: job lifecycle, worker execution, router.
+//!
+//! Data flow: `submit` validates a [`JobSpec`], consults the result cache,
+//! and — on a miss — admits the job to the bounded [`JobQueue`] (or rejects
+//! it with `queue_full`). Workers from a [`pasm::WorkerPool`] pop admitted
+//! jobs in FIFO order, re-check the cache (duplicate coalescing), run the
+//! simulation, publish the result into the cache and the job table, and emit
+//! one JSONL accounting line. Shutdown closes the queue and joins the pool,
+//! so every admitted job reaches a terminal state before the server returns.
+
+use crate::cache::ResultCache;
+use crate::http::{read_request, write_json, Request};
+use crate::protocol::{error_body, BadRequest, JobSpec, JobStatus};
+use crate::queue::JobQueue;
+use crate::stats::Stats;
+use pasm::{run_keyed, ExperimentResult, WorkerPool};
+use pasm_util::{Json, ToJson};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tunables of one service instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (tests).
+    pub addr: String,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Bounded queue depth — the backpressure limit.
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Optional JSONL job-log path.
+    pub log_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8471".to_string(),
+            workers: thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            queue_depth: 256,
+            cache_capacity: 4096,
+            log_path: None,
+        }
+    }
+}
+
+/// One tracked job.
+struct Job {
+    spec: JobSpec,
+    status: JobStatus,
+    cached: bool,
+    error: Option<String>,
+    submitted_at: Instant,
+    result: Option<Arc<ExperimentResult>>,
+    wall_ms: u64,
+}
+
+struct AppState {
+    queue: JobQueue,
+    cache: ResultCache,
+    stats: Stats,
+    jobs: Mutex<HashMap<u64, Job>>,
+    next_id: AtomicU64,
+    draining: AtomicBool,
+    workers: usize,
+}
+
+/// A running simulation service. Dropping it (or calling
+/// [`Server::shutdown`]) drains admitted jobs and joins every thread.
+pub struct Server {
+    state: Arc<AppState>,
+    addr: SocketAddr,
+    pool: Option<WorkerPool>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and the accept loop, and return.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking accept so the loop can observe the drain flag.
+        listener.set_nonblocking(true)?;
+
+        let state = Arc::new(AppState {
+            queue: JobQueue::new(config.queue_depth),
+            cache: ResultCache::new(config.cache_capacity),
+            stats: Stats::new(config.log_path.as_deref())?,
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
+            workers: config.workers.max(1),
+        });
+
+        let pool = WorkerPool::new(state.workers);
+        for _ in 0..state.workers {
+            let state = Arc::clone(&state);
+            pool.execute(move || {
+                while let Some(job_id) = state.queue.pop_blocking() {
+                    run_job(&state, job_id);
+                }
+            });
+        }
+
+        let accept_state = Arc::clone(&state);
+        let accept = thread::Builder::new()
+            .name("pasm-accept".into())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let state = Arc::clone(&accept_state);
+                        let _ = thread::Builder::new()
+                            .name("pasm-conn".into())
+                            .spawn(move || {
+                                handle_connection(&state, stream);
+                            });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if accept_state.draining.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(5)),
+                }
+            })?;
+
+        Ok(Server {
+            state,
+            addr,
+            pool: Some(pool),
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// JSON snapshot of the service counters (the `/stats` payload).
+    /// Usable after [`Server::shutdown`], when the listener is gone.
+    pub fn snapshot(&self) -> Json {
+        stats(&self.state).1
+    }
+
+    /// True when every tracked job has reached a terminal state.
+    pub fn all_jobs_terminal(&self) -> bool {
+        let jobs = self.state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        jobs.values().all(|job| job.status.is_terminal())
+    }
+
+    /// Graceful drain: stop admitting, finish every already-admitted job,
+    /// join all threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.queue.close();
+        if let Some(mut pool) = self.pool.take() {
+            pool.join();
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Worker path
+// ----------------------------------------------------------------------
+
+fn run_job(state: &AppState, job_id: u64) {
+    // Claim the job: skip if canceled, expire if its deadline passed in the
+    // queue, otherwise mark running.
+    let spec = {
+        let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(job) = jobs.get_mut(&job_id) else {
+            return;
+        };
+        if job.status != JobStatus::Queued {
+            return;
+        }
+        if let Some(deadline_ms) = job.spec.deadline_ms {
+            if job.submitted_at.elapsed() >= Duration::from_millis(deadline_ms) {
+                job.status = JobStatus::Expired;
+                state.stats.count(JobStatus::Expired);
+                return;
+            }
+        }
+        job.status = JobStatus::Running;
+        job.spec.clone()
+    };
+
+    // Duplicate coalescing: an identical job may have completed while this
+    // one waited in the queue.
+    if let Some(hit) = state.cache.peek(&spec.key) {
+        finish(state, job_id, Ok(hit), true, 0);
+        return;
+    }
+
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_keyed(&spec.key)));
+    let wall_ms = t0.elapsed().as_millis() as u64;
+    match outcome {
+        Ok(Ok(result)) => {
+            let result = Arc::new(result);
+            state.cache.insert(spec.key, Arc::clone(&result));
+            finish(state, job_id, Ok(result), false, wall_ms);
+        }
+        Ok(Err(e)) => finish(
+            state,
+            job_id,
+            Err(format!("simulation error: {e}")),
+            false,
+            wall_ms,
+        ),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            finish(
+                state,
+                job_id,
+                Err(format!("simulation panicked: {msg}")),
+                false,
+                wall_ms,
+            )
+        }
+    }
+}
+
+fn finish(
+    state: &AppState,
+    job_id: u64,
+    outcome: Result<Arc<ExperimentResult>, String>,
+    cache_hit: bool,
+    wall_ms: u64,
+) {
+    let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(job) = jobs.get_mut(&job_id) else {
+        return;
+    };
+    match outcome {
+        Ok(result) => {
+            job.status = JobStatus::Done;
+            job.cached = cache_hit;
+            job.wall_ms = wall_ms;
+            state.stats.count(JobStatus::Done);
+            state
+                .stats
+                .record_completion(job_id, &result, wall_ms, cache_hit);
+            job.result = Some(result);
+        }
+        Err(message) => {
+            job.status = JobStatus::Failed;
+            job.error = Some(message);
+            state.stats.count(JobStatus::Failed);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// HTTP path
+// ----------------------------------------------------------------------
+
+fn handle_connection(state: &AppState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let response = match read_request(&mut stream) {
+        Ok(req) => route(state, &req),
+        Err(e) => (400, error_body("bad_request", &e.to_string())),
+    };
+    let _ = write_json(&mut stream, response.0, &response.1);
+}
+
+fn route(state: &AppState, req: &Request) -> (u16, Json) {
+    let path = req.path.as_str();
+    match (req.method.as_str(), path) {
+        ("POST", "/submit") => submit(state, &req.body),
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/stats") => stats(state),
+        ("GET", _) if path.starts_with("/status/") => {
+            with_job_id(path, "/status/", |id| status(state, id))
+        }
+        ("GET", _) if path.starts_with("/result/") => {
+            with_job_id(path, "/result/", |id| result(state, id))
+        }
+        ("POST", _) if path.starts_with("/cancel/") => {
+            with_job_id(path, "/cancel/", |id| cancel(state, id))
+        }
+        ("POST" | "GET", "/submit" | "/healthz" | "/stats") => (
+            405,
+            error_body("method_not_allowed", "wrong method for this endpoint"),
+        ),
+        _ => (404, error_body("not_found", "unknown endpoint")),
+    }
+}
+
+fn with_job_id(path: &str, prefix: &str, f: impl FnOnce(u64) -> (u16, Json)) -> (u16, Json) {
+    match path
+        .strip_prefix(prefix)
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        Some(id) => f(id),
+        None => (400, error_body("bad_request", "job id must be an integer")),
+    }
+}
+
+fn submit(state: &AppState, body: &str) -> (u16, Json) {
+    if state.draining.load(Ordering::SeqCst) {
+        return (503, error_body("shutting_down", "server is draining"));
+    }
+    let parsed = match pasm_util::json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body("bad_request", &e.to_string())),
+    };
+    let spec = match JobSpec::from_json(&parsed) {
+        Ok(spec) => spec,
+        Err(BadRequest { message }) => return (400, error_body("bad_request", &message)),
+    };
+    state.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    let fingerprint = format!("{:016x}", spec.key.fingerprint());
+
+    // Cache hit: the job completes at submission time, no queue involved.
+    if let Some(hit) = state.cache.get(&spec.key) {
+        let job_id = state.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        jobs.insert(
+            job_id,
+            Job {
+                spec,
+                status: JobStatus::Done,
+                cached: true,
+                error: None,
+                submitted_at: Instant::now(),
+                result: Some(Arc::clone(&hit)),
+                wall_ms: 0,
+            },
+        );
+        drop(jobs);
+        state.stats.count(JobStatus::Done);
+        state.stats.record_completion(job_id, &hit, 0, true);
+        return (
+            200,
+            Json::obj(vec![
+                ("job_id", Json::Int(job_id as i64)),
+                ("status", Json::Str("done".into())),
+                ("cached", Json::Bool(true)),
+                ("key", Json::Str(fingerprint)),
+                ("result", hit.to_json()),
+            ]),
+        );
+    }
+
+    // Miss: admit into the bounded queue, or push back.
+    let job_id = state.next_id.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        jobs.insert(
+            job_id,
+            Job {
+                spec,
+                status: JobStatus::Queued,
+                cached: false,
+                error: None,
+                submitted_at: Instant::now(),
+                result: None,
+                wall_ms: 0,
+            },
+        );
+    }
+    if state.queue.try_push(job_id).is_err() {
+        state
+            .jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&job_id);
+        state
+            .stats
+            .rejected_queue_full
+            .fetch_add(1, Ordering::Relaxed);
+        return (
+            429,
+            Json::obj(vec![
+                ("error", Json::Str("queue_full".into())),
+                ("queue_depth", Json::Int(state.queue.capacity() as i64)),
+            ]),
+        );
+    }
+    (
+        202,
+        Json::obj(vec![
+            ("job_id", Json::Int(job_id as i64)),
+            ("status", Json::Str("queued".into())),
+            ("key", Json::Str(fingerprint)),
+        ]),
+    )
+}
+
+fn job_summary(job_id: u64, job: &Job) -> Json {
+    let mut fields = vec![
+        ("job_id", Json::Int(job_id as i64)),
+        ("status", Json::Str(job.status.as_str().into())),
+        ("cached", Json::Bool(job.cached)),
+        ("mode", job.spec.key.mode.to_json()),
+        ("n", Json::Int(job.spec.key.params.n as i64)),
+        ("p", Json::Int(job.spec.key.params.p as i64)),
+        (
+            "key",
+            Json::Str(format!("{:016x}", job.spec.key.fingerprint())),
+        ),
+    ];
+    if let Some(err) = &job.error {
+        fields.push(("message", Json::Str(err.clone())));
+    }
+    Json::obj(fields)
+}
+
+fn status(state: &AppState, job_id: u64) -> (u16, Json) {
+    let jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    match jobs.get(&job_id) {
+        Some(job) => (200, job_summary(job_id, job)),
+        None => (404, error_body("not_found", "unknown job id")),
+    }
+}
+
+fn result(state: &AppState, job_id: u64) -> (u16, Json) {
+    let jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(job) = jobs.get(&job_id) else {
+        return (404, error_body("not_found", "unknown job id"));
+    };
+    match job.status {
+        JobStatus::Done => (
+            200,
+            Json::obj(vec![
+                ("job_id", Json::Int(job_id as i64)),
+                ("cached", Json::Bool(job.cached)),
+                ("wall_ms", Json::Int(job.wall_ms as i64)),
+                (
+                    "result",
+                    job.result.as_ref().expect("done job has result").to_json(),
+                ),
+            ]),
+        ),
+        JobStatus::Queued | JobStatus::Running => (202, job_summary(job_id, job)),
+        JobStatus::Failed => (
+            500,
+            error_body(
+                "job_failed",
+                job.error.as_deref().unwrap_or("simulation failed"),
+            ),
+        ),
+        JobStatus::Canceled => (409, error_body("canceled", "job was canceled")),
+        JobStatus::Expired => (
+            409,
+            error_body("expired", "job deadline passed before it ran"),
+        ),
+    }
+}
+
+fn cancel(state: &AppState, job_id: u64) -> (u16, Json) {
+    let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(job) = jobs.get_mut(&job_id) else {
+        return (404, error_body("not_found", "unknown job id"));
+    };
+    match job.status {
+        JobStatus::Queued => {
+            // Only a job still in the queue can be canceled; if a worker has
+            // already popped it, it is effectively running.
+            if state.queue.remove(job_id) {
+                job.status = JobStatus::Canceled;
+                state.stats.count(JobStatus::Canceled);
+                (200, job_summary(job_id, job))
+            } else {
+                (
+                    409,
+                    error_body("not_cancelable", "job is already being executed"),
+                )
+            }
+        }
+        JobStatus::Running => (409, error_body("not_cancelable", "job is running")),
+        // Terminal states: cancellation is a no-op, report the state.
+        _ => (200, job_summary(job_id, job)),
+    }
+}
+
+fn healthz(state: &AppState) -> (u16, Json) {
+    let draining = state.draining.load(Ordering::SeqCst);
+    (
+        200,
+        Json::obj(vec![
+            (
+                "status",
+                Json::Str(if draining { "draining" } else { "ok" }.into()),
+            ),
+            ("workers", Json::Int(state.workers as i64)),
+            ("queue_len", Json::Int(state.queue.len() as i64)),
+            ("queue_depth", Json::Int(state.queue.capacity() as i64)),
+            (
+                "jobs",
+                Json::Int(state.jobs.lock().unwrap_or_else(|e| e.into_inner()).len() as i64),
+            ),
+        ]),
+    )
+}
+
+fn stats(state: &AppState) -> (u16, Json) {
+    let s = &state.stats;
+    (
+        200,
+        Json::obj(vec![
+            (
+                "submitted",
+                Json::Int(s.submitted.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "completed",
+                Json::Int(s.completed.load(Ordering::Relaxed) as i64),
+            ),
+            ("failed", Json::Int(s.failed.load(Ordering::Relaxed) as i64)),
+            (
+                "canceled",
+                Json::Int(s.canceled.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "expired",
+                Json::Int(s.expired.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "rejected_queue_full",
+                Json::Int(s.rejected_queue_full.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "total_cycles",
+                Json::Int(s.total_cycles.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "total_wall_ms",
+                Json::Int(s.total_wall_ms.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::Int(state.cache.hits() as i64)),
+                    ("misses", Json::Int(state.cache.misses() as i64)),
+                    ("entries", Json::Int(state.cache.entries() as i64)),
+                ]),
+            ),
+            (
+                "recent",
+                Json::Arr(s.recent_lines().into_iter().map(Json::Str).collect()),
+            ),
+        ]),
+    )
+}

@@ -1,0 +1,106 @@
+//! Service accounting: aggregate counters plus one JSONL line per completed
+//! job. The lines back the `stats` endpoint (recent window) and, when the
+//! server is started with a log path, an append-only file — the trajectory
+//! future performance PRs compare against.
+
+use crate::protocol::JobStatus;
+use pasm::ExperimentResult;
+use pasm_util::Json;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How many recent per-job lines the `stats` endpoint keeps in memory.
+const RECENT_CAP: usize = 256;
+
+#[derive(Default)]
+pub struct Stats {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub canceled: AtomicU64,
+    pub expired: AtomicU64,
+    /// Submissions rejected with `queue_full`.
+    pub rejected_queue_full: AtomicU64,
+    /// Simulated cycles summed over completed jobs.
+    pub total_cycles: AtomicU64,
+    /// Host wall-clock milliseconds summed over completed simulations.
+    pub total_wall_ms: AtomicU64,
+    recent: Mutex<std::collections::VecDeque<String>>,
+    log_file: Mutex<Option<File>>,
+}
+
+impl Stats {
+    pub fn new(log_path: Option<&Path>) -> std::io::Result<Self> {
+        let stats = Stats::default();
+        if let Some(path) = log_path {
+            let file = OpenOptions::new().create(true).append(true).open(path)?;
+            *stats.log_file.lock().unwrap_or_else(|e| e.into_inner()) = Some(file);
+        }
+        Ok(stats)
+    }
+
+    pub fn count(&self, status: JobStatus) {
+        match status {
+            JobStatus::Done => self.completed.fetch_add(1, Ordering::Relaxed),
+            JobStatus::Failed => self.failed.fetch_add(1, Ordering::Relaxed),
+            JobStatus::Canceled => self.canceled.fetch_add(1, Ordering::Relaxed),
+            JobStatus::Expired => self.expired.fetch_add(1, Ordering::Relaxed),
+            JobStatus::Queued | JobStatus::Running => 0,
+        };
+    }
+
+    /// Record one completed job as a JSONL line.
+    pub fn record_completion(
+        &self,
+        job_id: u64,
+        result: &ExperimentResult,
+        wall_ms: u64,
+        cache_hit: bool,
+    ) {
+        self.total_cycles
+            .fetch_add(result.cycles, Ordering::Relaxed);
+        self.total_wall_ms.fetch_add(wall_ms, Ordering::Relaxed);
+        let line = Json::obj(vec![
+            ("job_id", Json::Int(job_id as i64)),
+            ("mode", pasm_util::ToJson::to_json(&result.mode)),
+            ("n", Json::Int(result.n as i64)),
+            ("p", Json::Int(result.p as i64)),
+            ("extra_muls", Json::Int(result.extra_muls as i64)),
+            ("seed", Json::Int(result.seed as i64)),
+            ("cycles", Json::Int(result.cycles as i64)),
+            ("sim_ms", Json::Float(result.millis)),
+            ("wall_ms", Json::Int(wall_ms as i64)),
+            (
+                "cache",
+                Json::Str(if cache_hit { "hit" } else { "miss" }.to_string()),
+            ),
+        ])
+        .dump();
+        if let Some(file) = self
+            .log_file
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+        {
+            let _ = writeln!(file, "{line}");
+        }
+        let mut recent = self.recent.lock().unwrap_or_else(|e| e.into_inner());
+        recent.push_back(line);
+        while recent.len() > RECENT_CAP {
+            recent.pop_front();
+        }
+    }
+
+    /// The recent JSONL lines, oldest first.
+    pub fn recent_lines(&self) -> Vec<String> {
+        self.recent
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+}

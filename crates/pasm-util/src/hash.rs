@@ -1,0 +1,71 @@
+//! FNV-1a: a stable, dependency-free `std::hash::Hasher`.
+//!
+//! `std`'s default hasher is randomly keyed per process, so its output cannot
+//! name anything durable. Cache keys and content fingerprints use FNV-1a
+//! instead: the 64-bit variant is fixed by two constants and will produce the
+//! same key for the same bytes in every process, forever.
+
+use std::hash::Hasher;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a hasher state.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// FNV-1a of a byte string in one call.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn usable_with_derive_hash() {
+        let mut h = Fnv1a::new();
+        (1u64, 2usize, "x").hash(&mut h);
+        let first = h.finish();
+        let mut h = Fnv1a::new();
+        (1u64, 2usize, "x").hash(&mut h);
+        assert_eq!(first, h.finish());
+    }
+}

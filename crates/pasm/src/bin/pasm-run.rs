@@ -66,13 +66,23 @@ fn main() -> ExitCode {
             "static: {} instructions ({} words), {} data-dependent-time, {} mul/div, {} control",
             s.main_instrs, s.main_words, s.variable_time_instrs, s.mul_div_instrs, s.control_instrs
         );
-        let straight: Vec<pasm_isa::Instr> =
-            program.instrs.iter().copied().filter(|i| !i.is_control_flow()).collect();
+        let straight: Vec<pasm_isa::Instr> = program
+            .instrs
+            .iter()
+            .copied()
+            .filter(|i| !i.is_control_flow())
+            .collect();
         let b = analysis::block_bounds(&straight);
-        println!("static: straight-line core-cycle bounds {}..{}\n", b.min, b.max);
+        println!(
+            "static: straight-line core-cycle bounds {}..{}\n",
+            b.min, b.max
+        );
     }
 
-    let cfg = MachineConfig { max_cycles, ..MachineConfig::small() };
+    let cfg = MachineConfig {
+        max_cycles,
+        ..MachineConfig::small()
+    };
     let mut machine = Machine::new(cfg);
     machine.load_pe_program(0, program);
     machine.start_pe(0, 0);

@@ -2,13 +2,15 @@
 //! run it, and collect both the numeric result and the timing traces.
 
 use pasm_machine::{Machine, MachineConfig, RunError, RunResult};
-use pasm_prog::matmul::{self, mimd, serial, simd, select_vm, CommSync, MatmulParams};
+use pasm_prog::matmul::{self, mimd, select_vm, serial, simd, CommSync, MatmulParams};
 use pasm_prog::{Layout, Matrix};
-use serde::{Deserialize, Serialize};
+use pasm_util::json::{Json, ToJson};
+use pasm_util::Fnv1a;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// The four program variants of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mode {
     /// Optimized single-PE baseline (SISD).
     Serial,
@@ -36,6 +38,33 @@ impl fmt::Display for Mode {
             Mode::Mimd => "MIMD",
             Mode::Smimd => "S/MIMD",
         })
+    }
+}
+
+impl ToJson for Mode {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Mode::Serial => "Serial",
+                Mode::Simd => "Simd",
+                Mode::Mimd => "Mimd",
+                Mode::Smimd => "Smimd",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Mode {
+    /// Parse the `ToJson` form (and the display form) back into a mode.
+    pub fn parse(s: &str) -> Option<Mode> {
+        match s.to_ascii_lowercase().as_str() {
+            "serial" | "sisd" => Some(Mode::Serial),
+            "simd" => Some(Mode::Simd),
+            "mimd" => Some(Mode::Mimd),
+            "smimd" | "s/mimd" => Some(Mode::Smimd),
+            _ => None,
+        }
     }
 }
 
@@ -92,7 +121,11 @@ fn load_job(
             layout
         }
         Mode::Mimd | Mode::Smimd => {
-            let sync = if mode == Mode::Mimd { CommSync::Polling } else { CommSync::Barrier };
+            let sync = if mode == Mode::Mimd {
+                CommSync::Polling
+            } else {
+                CommSync::Barrier
+            };
             let layout = Layout::parallel(params.n, params.p);
             layout.load(machine, &vm.pes, a, b);
             machine.connect_ring(&vm.pes).expect("ring circuits");
@@ -125,7 +158,13 @@ pub fn run_matmul(
     let layout = load_job(&mut machine, mode, params, &vm, a, b);
     let run = machine.run()?;
     let c = layout.read_c(&machine, &vm.pes[..layout.p]);
-    Ok(MatmulOutcome { mode, params, cycles: run.makespan, run, c })
+    Ok(MatmulOutcome {
+        mode,
+        params,
+        cycles: run.makespan,
+        run,
+        c,
+    })
 }
 
 /// One job of a partitioned (multi-virtual-machine) run.
@@ -168,7 +207,11 @@ pub fn run_concurrent(cfg: &MachineConfig, jobs: &[Job]) -> Result<Vec<JobOutcom
     let mut machine = Machine::new(cfg.clone());
     let mut loaded = Vec::new();
     for job in jobs {
-        let p = if job.mode == Mode::Serial { 1 } else { job.params.p };
+        let p = if job.mode == Mode::Serial {
+            1
+        } else {
+            job.params.p
+        };
         let vm = pasm_prog::matmul::select_vm_on_mcs(cfg, p, &job.mcs);
         let layout = load_job(&mut machine, job.mode, job.params, &vm, &job.a, &job.b);
         loaded.push((job, vm, layout));
@@ -205,8 +248,111 @@ pub fn run_matmul_verified(
 ) -> Result<MatmulOutcome, RunError> {
     let out = run_matmul(cfg, mode, params, a, b)?;
     let expect = a.multiply(b);
-    assert_eq!(out.c, expect, "{mode} n={} p={} produced a wrong product", params.n, params.p);
+    assert_eq!(
+        out.c, expect,
+        "{mode} n={} p={} produced a wrong product",
+        params.n, params.p
+    );
     Ok(out)
+}
+
+/// The identity of one simulation: everything that determines its outcome.
+///
+/// Two runs with equal descriptors produce byte-identical results (the
+/// simulator is deterministic), which is what makes result caching sound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ExperimentKey {
+    pub config: MachineConfig,
+    pub mode: Mode,
+    pub params: MatmulParams,
+    /// Seed of the paper workload (identity A, seeded uniform B).
+    pub seed: u64,
+}
+
+impl ExperimentKey {
+    /// Stable 64-bit content fingerprint (FNV-1a over the derived `Hash`),
+    /// identical across processes — usable as a durable cache-entry name.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// A compact, serializable summary of a completed run — what the simulation
+/// service stores, caches, and returns (the full [`RunResult`] traces stay
+/// host-side; megabyte matrices are reduced to a checksum).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    pub mode: Mode,
+    pub n: usize,
+    pub p: usize,
+    pub extra_muls: usize,
+    pub seed: u64,
+    /// Simulated makespan in cycles.
+    pub cycles: u64,
+    /// Simulated execution time on the 8 MHz prototype clock.
+    pub millis: f64,
+    /// Phase breakdown in cycles (Figures 8–10 decomposition).
+    pub multiply_cycles: u64,
+    pub communication_cycles: u64,
+    /// Instructions executed across all PEs.
+    pub pe_instrs: u64,
+    /// FNV-1a fingerprint of the product matrix (row-major words).
+    pub c_checksum: u64,
+}
+
+impl ToJson for ExperimentResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mode", self.mode.to_json()),
+            ("n", self.n.to_json()),
+            ("p", self.p.to_json()),
+            ("extra_muls", self.extra_muls.to_json()),
+            ("seed", self.seed.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("millis", self.millis.to_json()),
+            ("multiply_cycles", self.multiply_cycles.to_json()),
+            ("communication_cycles", self.communication_cycles.to_json()),
+            ("pe_instrs", self.pe_instrs.to_json()),
+            // Full-range u64: as hex text, since JSON numbers are i64/f64.
+            ("c_checksum", Json::Str(format!("{:016x}", self.c_checksum))),
+        ])
+    }
+}
+
+impl ExperimentResult {
+    /// Summarize a finished matmul run.
+    pub fn from_outcome(out: &MatmulOutcome, seed: u64) -> Self {
+        use pasm_prog::codegen::{PHASE_COMM, PHASE_MUL};
+        let mut h = Fnv1a::new();
+        for r in 0..out.c.n {
+            for c in 0..out.c.n {
+                h.write(&out.c.get(r, c).to_be_bytes());
+            }
+        }
+        ExperimentResult {
+            mode: out.mode,
+            n: out.params.n,
+            p: out.params.p,
+            extra_muls: out.params.extra_muls,
+            seed,
+            cycles: out.cycles,
+            millis: out.millis(),
+            multiply_cycles: out.run.phase_max(PHASE_MUL as usize),
+            communication_cycles: out.run.phase_max(PHASE_COMM as usize),
+            pe_instrs: out.run.pe.iter().map(|t| t.instrs).sum(),
+            c_checksum: h.finish(),
+        }
+    }
+}
+
+/// Run the experiment a key describes on the paper workload: the end-to-end
+/// unit of work of the `pasm-server` simulation service.
+pub fn run_keyed(key: &ExperimentKey) -> Result<ExperimentResult, RunError> {
+    let (a, b) = paper_workload(key.params.n, key.seed);
+    let out = run_matmul(&key.config, key.mode, key.params, &a, &b)?;
+    Ok(ExperimentResult::from_outcome(&out, key.seed))
 }
 
 /// Standard workload of the paper: identity A, uniform-random B.
@@ -253,7 +399,11 @@ pub fn run_reduction(
             }
         }
         Mode::Mimd | Mode::Smimd => {
-            let sync = if mode == Mode::Mimd { CommSync::Polling } else { CommSync::Barrier };
+            let sync = if mode == Mode::Mimd {
+                CommSync::Polling
+            } else {
+                CommSync::Barrier
+            };
             let pe_prog = reduction::pe_program(params, sync);
             for &pe in &vm.pes {
                 machine.load_pe_program(pe, pe_prog.clone());
@@ -266,8 +416,16 @@ pub fn run_reduction(
         Mode::Serial => panic!("reduction is a parallel workload"),
     }
     let run = machine.run()?;
-    let sums = vm.pes.iter().map(|&pe| machine.pe_mem(pe).read_word(RESULT_ADDR)).collect();
-    Ok(ReduceOutcome { mode, cycles: run.makespan, sums })
+    let sums = vm
+        .pes
+        .iter()
+        .map(|&pe| machine.pe_mem(pe).read_word(RESULT_ADDR))
+        .collect();
+    Ok(ReduceOutcome {
+        mode,
+        cycles: run.makespan,
+        sums,
+    })
 }
 
 /// Re-export for callers constructing parameter sets.

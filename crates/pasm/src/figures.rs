@@ -10,10 +10,10 @@ use crate::experiment::{paper_workload, run_matmul, Mode, Params};
 use crate::metrics::{efficiency, Breakdown};
 use crate::sweep::par_map;
 use pasm_machine::MachineConfig;
-use pasm_prog::microbench::{self, MipsKind};
 use pasm_prog::matmul::select_vm;
+use pasm_prog::microbench::{self, MipsKind};
 use pasm_prog::Matrix;
-use serde::{Deserialize, Serialize};
+use pasm_util::impl_to_json;
 
 /// The matrix sizes the paper sweeps (§6).
 pub const PAPER_SIZES: [usize; 6] = [4, 8, 16, 64, 128, 256];
@@ -30,7 +30,7 @@ fn sizes_for(p: usize, ns: &[usize]) -> Vec<usize> {
 // ----------------------------------------------------------------------
 
 /// One row of Table 1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     pub instruction: String,
     pub simd_mips: f64,
@@ -62,7 +62,11 @@ pub fn table1(cfg: &MachineConfig) -> Vec<Table1Row> {
             let r = m.run().expect("MIPS SIMD run");
             let simd_mips = mips(r.pe[vm.pes[0]].instrs, r.pe[vm.pes[0]].finished_at);
 
-            Table1Row { instruction: kind.name().to_string(), simd_mips, mimd_mips }
+            Table1Row {
+                instruction: kind.name().to_string(),
+                simd_mips,
+                mimd_mips,
+            }
         })
         .collect()
 }
@@ -77,7 +81,7 @@ fn mips(instrs: u64, cycles: u64) -> f64 {
 // ----------------------------------------------------------------------
 
 /// One row of the Figure-6 series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Row {
     pub n: usize,
     pub serial_ms: f64,
@@ -111,7 +115,7 @@ pub fn fig6(cfg: &MachineConfig, p: usize, ns: &[usize], seed: u64) -> Vec<Fig6R
 // ----------------------------------------------------------------------
 
 /// One row of the Figure-7 series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Row {
     pub extra_muls: usize,
     pub simd_ms: f64,
@@ -124,8 +128,16 @@ pub fn fig7(cfg: &MachineConfig, n: usize, p: usize, extras: &[usize], seed: u64
     let (a, b) = paper_workload(n, seed);
     par_map(extras.to_vec(), |&extra| {
         let params = Params::new(n, p).with_extra(extra);
-        let t = |mode| run_matmul(cfg, mode, params, &a, &b).expect("fig7 run").millis();
-        Fig7Row { extra_muls: extra, simd_ms: t(Mode::Simd), smimd_ms: t(Mode::Smimd) }
+        let t = |mode| {
+            run_matmul(cfg, mode, params, &a, &b)
+                .expect("fig7 run")
+                .millis()
+        };
+        Fig7Row {
+            extra_muls: extra,
+            simd_ms: t(Mode::Simd),
+            smimd_ms: t(Mode::Smimd),
+        }
     })
 }
 
@@ -133,7 +145,9 @@ pub fn fig7(cfg: &MachineConfig, n: usize, p: usize, extras: &[usize], seed: u64
 /// S/MIMD version is at least as fast as the SIMD version. `None` if SIMD
 /// stays ahead over the probed range.
 pub fn fig7_crossover(rows: &[Fig7Row]) -> Option<usize> {
-    rows.iter().find(|r| r.smimd_ms <= r.simd_ms).map(|r| r.extra_muls)
+    rows.iter()
+        .find(|r| r.smimd_ms <= r.simd_ms)
+        .map(|r| r.extra_muls)
 }
 
 // ----------------------------------------------------------------------
@@ -141,7 +155,7 @@ pub fn fig7_crossover(rows: &[Fig7Row]) -> Option<usize> {
 // ----------------------------------------------------------------------
 
 /// One bar of the Figures 8–10 stacked breakdown.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BreakdownRow {
     pub n: usize,
     pub mode: Mode,
@@ -192,7 +206,7 @@ pub fn fig8_10(
 // ----------------------------------------------------------------------
 
 /// One row of the Figure-11 series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EffRow {
     pub n: usize,
     pub simd: f64,
@@ -204,12 +218,21 @@ pub struct EffRow {
 pub fn fig11(cfg: &MachineConfig, p: usize, ns: &[usize], seed: u64) -> Vec<EffRow> {
     par_map(sizes_for(p, ns), |&n| {
         let (a, b) = paper_workload(n, seed);
-        let serial = run_matmul(cfg, Mode::Serial, Params::new(n, p), &a, &b).unwrap().cycles;
+        let serial = run_matmul(cfg, Mode::Serial, Params::new(n, p), &a, &b)
+            .unwrap()
+            .cycles;
         let e = |mode| {
-            let t = run_matmul(cfg, mode, Params::new(n, p), &a, &b).unwrap().cycles;
+            let t = run_matmul(cfg, mode, Params::new(n, p), &a, &b)
+                .unwrap()
+                .cycles;
             efficiency(serial, t, p)
         };
-        EffRow { n, simd: e(Mode::Simd), mimd: e(Mode::Mimd), smimd: e(Mode::Smimd) }
+        EffRow {
+            n,
+            simd: e(Mode::Simd),
+            mimd: e(Mode::Mimd),
+            smimd: e(Mode::Smimd),
+        }
     })
 }
 
@@ -218,7 +241,7 @@ pub fn fig11(cfg: &MachineConfig, p: usize, ns: &[usize], seed: u64) -> Vec<EffR
 // ----------------------------------------------------------------------
 
 /// One row of the Figure-12 series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12Row {
     pub p: usize,
     pub simd: f64,
@@ -229,13 +252,22 @@ pub struct Fig12Row {
 /// Efficiency vs processor count for a fixed n.
 pub fn fig12(cfg: &MachineConfig, n: usize, ps: &[usize], seed: u64) -> Vec<Fig12Row> {
     let (a, b) = paper_workload(n, seed);
-    let serial = run_matmul(cfg, Mode::Serial, Params::new(n, 1), &a, &b).unwrap().cycles;
+    let serial = run_matmul(cfg, Mode::Serial, Params::new(n, 1), &a, &b)
+        .unwrap()
+        .cycles;
     par_map(ps.to_vec(), |&p| {
         let e = |mode| {
-            let t = run_matmul(cfg, mode, Params::new(n, p), &a, &b).unwrap().cycles;
+            let t = run_matmul(cfg, mode, Params::new(n, p), &a, &b)
+                .unwrap()
+                .cycles;
             efficiency(serial, t, p)
         };
-        Fig12Row { p, simd: e(Mode::Simd), mimd: e(Mode::Mimd), smimd: e(Mode::Smimd) }
+        Fig12Row {
+            p,
+            simd: e(Mode::Simd),
+            mimd: e(Mode::Mimd),
+            smimd: e(Mode::Smimd),
+        }
     })
 }
 
@@ -244,7 +276,7 @@ pub fn fig12(cfg: &MachineConfig, n: usize, ps: &[usize], seed: u64) -> Vec<Fig1
 // ----------------------------------------------------------------------
 
 /// Lockstep vs decoupled release at one experiment point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationReleaseRow {
     pub extra_muls: usize,
     pub lockstep_ms: f64,
@@ -263,8 +295,13 @@ pub fn ablation_release(
     par_map(extras.to_vec(), |&extra| {
         let params = Params::new(n, p).with_extra(extra);
         let t = |mode| {
-            let cfg = MachineConfig { release_mode: mode, ..cfg.clone() };
-            run_matmul(&cfg, Mode::Simd, params, &a, &b).unwrap().millis()
+            let cfg = MachineConfig {
+                release_mode: mode,
+                ..cfg.clone()
+            };
+            run_matmul(&cfg, Mode::Simd, params, &a, &b)
+                .unwrap()
+                .millis()
         };
         AblationReleaseRow {
             extra_muls: extra,
@@ -275,7 +312,7 @@ pub fn ablation_release(
 }
 
 /// SIMD time and queue-empty stalls at one queue capacity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationQueueRow {
     pub capacity_words: u32,
     pub simd_ms: f64,
@@ -294,19 +331,34 @@ pub fn ablation_queue(
 ) -> Vec<AblationQueueRow> {
     let (a, b) = paper_workload(n, seed);
     par_map(capacities.to_vec(), |&cap| {
-        let cfg = MachineConfig { queue_capacity_words: cap, ..cfg.clone() };
+        let cfg = MachineConfig {
+            queue_capacity_words: cap,
+            ..cfg.clone()
+        };
         let out = run_matmul(&cfg, Mode::Simd, Params::new(n, p), &a, &b).unwrap();
         AblationQueueRow {
             capacity_words: cap,
             simd_ms: out.millis(),
-            empty_stall_cycles: out.run.fu.iter().map(|f| f.empty_stall_cycles).max().unwrap_or(0),
-            max_depth_words: out.run.fu.iter().map(|f| f.max_depth_words).max().unwrap_or(0),
+            empty_stall_cycles: out
+                .run
+                .fu
+                .iter()
+                .map(|f| f.empty_stall_cycles)
+                .max()
+                .unwrap_or(0),
+            max_depth_words: out
+                .run
+                .fu
+                .iter()
+                .map(|f| f.max_depth_words)
+                .max()
+                .unwrap_or(0),
         }
     })
 }
 
 /// Crossover position as a function of multiplier bit-density.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationDensityRow {
     pub ones: u32,
     pub crossover: Option<usize>,
@@ -331,9 +383,67 @@ pub fn ablation_density(
             .map(|&extra| {
                 let params = Params::new(n, p).with_extra(extra);
                 let t = |mode| run_matmul(cfg, mode, params, &a, &b).unwrap().millis();
-                Fig7Row { extra_muls: extra, simd_ms: t(Mode::Simd), smimd_ms: t(Mode::Smimd) }
+                Fig7Row {
+                    extra_muls: extra,
+                    simd_ms: t(Mode::Simd),
+                    smimd_ms: t(Mode::Smimd),
+                }
             })
             .collect();
-        AblationDensityRow { ones, crossover: fig7_crossover(&rows) }
+        AblationDensityRow {
+            ones,
+            crossover: fig7_crossover(&rows),
+        }
     })
 }
+
+impl_to_json!(Table1Row {
+    instruction,
+    simd_mips,
+    mimd_mips
+});
+impl_to_json!(Fig6Row {
+    n,
+    serial_ms,
+    simd_ms,
+    mimd_ms,
+    smimd_ms
+});
+impl_to_json!(Fig7Row {
+    extra_muls,
+    simd_ms,
+    smimd_ms
+});
+impl_to_json!(BreakdownRow {
+    n,
+    mode,
+    extra_muls,
+    multiply_ms,
+    communication_ms,
+    other_ms,
+    total_ms
+});
+impl_to_json!(EffRow {
+    n,
+    simd,
+    mimd,
+    smimd
+});
+impl_to_json!(Fig12Row {
+    p,
+    simd,
+    mimd,
+    smimd
+});
+impl_to_json!(AblationReleaseRow {
+    extra_muls,
+    lockstep_ms,
+    decoupled_ms
+});
+impl_to_json!(AblationQueueRow {
+    capacity_words,
+    simd_ms,
+    empty_stall_cycles,
+    max_depth_words
+});
+impl_to_json!(AblationDensityRow { ones, crossover });

@@ -31,9 +31,10 @@ pub mod report;
 pub mod sweep;
 
 pub use experiment::{
-    paper_workload, run_concurrent, run_matmul, run_matmul_verified, run_reduction, Job,
-    JobOutcome, MatmulOutcome, Mode, Params, ReduceOutcome,
+    paper_workload, run_concurrent, run_keyed, run_matmul, run_matmul_verified, run_reduction,
+    ExperimentKey, ExperimentResult, Job, JobOutcome, MatmulOutcome, Mode, Params, ReduceOutcome,
 };
 pub use metrics::{efficiency, speedup, Breakdown};
 pub use pasm_machine::{Machine, MachineConfig, ReleaseMode, RunResult};
 pub use pasm_prog::{CommSync, Matrix};
+pub use sweep::{par_map, WorkerPool};

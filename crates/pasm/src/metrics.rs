@@ -2,7 +2,6 @@
 
 use crate::experiment::MatmulOutcome;
 use pasm_prog::codegen::{PHASE_COMM, PHASE_MUL};
-use serde::{Deserialize, Serialize};
 
 /// Speed-up of a parallel run over the serial baseline.
 pub fn speedup(serial_cycles: u64, parallel_cycles: u64) -> f64 {
@@ -17,7 +16,7 @@ pub fn efficiency(serial_cycles: u64, parallel_cycles: u64, p: usize) -> f64 {
 }
 
 /// The Figures 8–10 decomposition of a run's execution time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Breakdown {
     /// Cycles in the multiplication section (incl. the add into C and the
     /// related address arithmetic, as in the paper).
@@ -70,7 +69,12 @@ mod tests {
 
     #[test]
     fn breakdown_fractions_sum_to_one() {
-        let b = Breakdown { multiply: 60, communication: 25, other: 15, total: 100 };
+        let b = Breakdown {
+            multiply: 60,
+            communication: 25,
+            other: 15,
+            total: 100,
+        };
         let (m, c, o) = b.fractions();
         assert!((m + c + o - 1.0).abs() < 1e-12);
     }

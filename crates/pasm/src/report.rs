@@ -41,7 +41,11 @@ pub fn render_fig7(rows: &[Fig7Row]) -> String {
             r.extra_muls,
             r.simd_ms,
             r.smimd_ms,
-            if r.smimd_ms <= r.simd_ms { "S/MIMD" } else { "SIMD" }
+            if r.smimd_ms <= r.simd_ms {
+                "S/MIMD"
+            } else {
+                "SIMD"
+            }
         ));
     }
     match fig7_crossover(rows) {
@@ -78,7 +82,10 @@ pub fn render_fig11(rows: &[EffRow]) -> String {
     let mut s = String::from("Figure 11: efficiency vs problem size\n");
     s.push_str("    n    SIMD    MIMD  S/MIMD\n");
     for r in rows {
-        s.push_str(&format!("{:>5} {:>7.3} {:>7.3} {:>7.3}\n", r.n, r.simd, r.mimd, r.smimd));
+        s.push_str(&format!(
+            "{:>5} {:>7.3} {:>7.3} {:>7.3}\n",
+            r.n, r.simd, r.mimd, r.smimd
+        ));
     }
     s
 }
@@ -88,7 +95,10 @@ pub fn render_fig12(rows: &[Fig12Row]) -> String {
     let mut s = String::from("Figure 12: efficiency vs number of processors\n");
     s.push_str("    p    SIMD    MIMD  S/MIMD\n");
     for r in rows {
-        s.push_str(&format!("{:>5} {:>7.3} {:>7.3} {:>7.3}\n", r.p, r.simd, r.mimd, r.smimd));
+        s.push_str(&format!(
+            "{:>5} {:>7.3} {:>7.3} {:>7.3}\n",
+            r.p, r.simd, r.mimd, r.smimd
+        ));
     }
     s
 }
@@ -109,8 +119,16 @@ mod tests {
         assert!(t1.contains("1.333"));
 
         let f7 = render_fig7(&[
-            Fig7Row { extra_muls: 0, simd_ms: 1.0, smimd_ms: 2.0 },
-            Fig7Row { extra_muls: 14, simd_ms: 3.0, smimd_ms: 2.9 },
+            Fig7Row {
+                extra_muls: 0,
+                simd_ms: 1.0,
+                smimd_ms: 2.0,
+            },
+            Fig7Row {
+                extra_muls: 14,
+                simd_ms: 3.0,
+                smimd_ms: 2.9,
+            },
         ]);
         assert!(f7.contains("crossover at 14"));
 

@@ -51,11 +51,16 @@ fn main() {
     let vm = select_vm(&cfg, 4);
     let layout = Layout::parallel(16, 4);
     layout.load(&mut machine, &vm.pes, &a, &b);
-    machine.connect_ring(&vm.pes).expect("ring routed around the fault");
+    machine
+        .connect_ring(&vm.pes)
+        .expect("ring routed around the fault");
     for &pe in &vm.pes {
         machine.load_pe_program(pe, mimd::pe_program(params, CommSync::Barrier));
     }
-    machine.load_mc_program(vm.mcs[0], mimd::mc_program(params, CommSync::Barrier, vm.mask));
+    machine.load_mc_program(
+        vm.mcs[0],
+        mimd::mc_program(params, CommSync::Barrier, vm.mask),
+    );
     let run = machine.run().expect("run");
     let correct = layout.read_c(&machine, &vm.pes) == a.multiply(&b);
     println!(

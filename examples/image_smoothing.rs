@@ -79,11 +79,14 @@ fn main() {
     machine.connect_ring(&vm.pes).expect("ring");
 
     // A synthetic noisy scanline, partitioned in logical ring order.
-    let signal: Vec<u16> =
-        (0..4 * K).map(|i| (500.0 + 400.0 * (i as f64 / 9.0).sin()) as u16 + ((i * 37) % 23) as u16).collect();
+    let signal: Vec<u16> = (0..4 * K)
+        .map(|i| (500.0 + 400.0 * (i as f64 / 9.0).sin()) as u16 + ((i * 37) % 23) as u16)
+        .collect();
     let program = assemble(&pe_source()).expect("assemble PE program");
     for (l, &pe) in vm.pes.iter().enumerate() {
-        machine.pe_mem_mut(pe).load_words(IN_BASE, &signal[l * K..(l + 1) * K]);
+        machine
+            .pe_mem_mut(pe)
+            .load_words(IN_BASE, &signal[l * K..(l + 1) * K]);
         machine.load_pe_program(pe, program.clone());
         machine.start_pe(pe, 0);
     }
@@ -98,14 +101,22 @@ fn main() {
     let reference: Vec<u16> = (0..4 * K)
         .map(|i| (signal[i] as u32 + signal[(i + 1) % (4 * K)] as u32) as u16 >> 1)
         .collect();
-    assert_eq!(out, reference, "smoothed scanline must match the host reference");
+    assert_eq!(
+        out, reference,
+        "smoothed scanline must match the host reference"
+    );
 
-    println!("smoothed {} samples on 4 PEs in {:.3} ms of machine time", 4 * K,
-        pasm_isa::cycles_to_ms(run.makespan));
+    println!(
+        "smoothed {} samples on 4 PEs in {:.3} ms of machine time",
+        4 * K,
+        pasm_isa::cycles_to_ms(run.makespan)
+    );
     println!("first 12 in : {:?}", &signal[..12]);
     println!("first 12 out: {:?}", &out[..12]);
     println!("result verified against the host reference.");
     let max_pe = run.pe.iter().map(|t| t.instrs).max().unwrap();
-    println!("per-PE instructions: {max_pe}; network bytes/PE: {}",
-        run.pe.iter().map(|t| t.net_bytes_sent).max().unwrap());
+    println!(
+        "per-PE instructions: {max_pe}; network bytes/PE: {}",
+        run.pe.iter().map(|t| t.net_bytes_sent).max().unwrap()
+    );
 }

@@ -12,7 +12,10 @@ use pasm::report::render_fig7;
 use pasm_machine::MachineConfig;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let cfg = MachineConfig::prototype();
     let extras: Vec<usize> = (0..=20).collect();
 

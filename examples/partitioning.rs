@@ -39,7 +39,10 @@ fn main() {
         },
     ];
 
-    println!("running {} jobs simultaneously on one 16-PE prototype:\n", jobs.len());
+    println!(
+        "running {} jobs simultaneously on one 16-PE prototype:\n",
+        jobs.len()
+    );
     let outcomes = run_concurrent(&cfg, &jobs).expect("partitioned run");
 
     for (job, out) in jobs.iter().zip(&outcomes) {
@@ -57,13 +60,23 @@ fn main() {
     }
 
     // Timing isolation: the S/MIMD job takes exactly as long as it would alone.
-    let solo = run_matmul(&cfg, Mode::Smimd, Params::new(16, 4), &jobs[1].a, &jobs[1].b)
-        .expect("solo run");
+    let solo = run_matmul(
+        &cfg,
+        Mode::Smimd,
+        Params::new(16, 4),
+        &jobs[1].a,
+        &jobs[1].b,
+    )
+    .expect("solo run");
     println!(
         "\ntiming isolation: S/MIMD job solo {} cycles, partitioned {} cycles ({})",
         solo.cycles,
         outcomes[1].cycles,
-        if solo.cycles == outcomes[1].cycles { "identical" } else { "DIFFERENT!" }
+        if solo.cycles == outcomes[1].cycles {
+            "identical"
+        } else {
+            "DIFFERENT!"
+        }
     );
     assert_eq!(solo.cycles, outcomes[1].cycles);
 }

@@ -20,7 +20,10 @@ fn table1_simd_is_faster_per_instruction() {
             r.simd_mips,
             r.mimd_mips
         );
-        assert!(r.mimd_mips > 0.1 && r.simd_mips < 8.0, "rates must be physical");
+        assert!(
+            r.mimd_mips > 0.1 && r.simd_mips < 8.0,
+            "rates must be physical"
+        );
     }
     // The register ADD is faster than the memory MOVE in both modes.
     assert!(rows[0].simd_mips > rows[1].simd_mips);
@@ -67,7 +70,10 @@ fn breakdown_components_sum_to_total() {
     assert_eq!(rows.len(), 4); // 2 sizes × 2 modes
     for r in &rows {
         let sum = r.multiply_ms + r.communication_ms + r.other_ms;
-        assert!((sum - r.total_ms).abs() < 1e-9, "decomposition must be exact");
+        assert!(
+            (sum - r.total_ms).abs() < 1e-9,
+            "decomposition must be exact"
+        );
         assert!(r.multiply_ms > 0.0 && r.communication_ms > 0.0);
     }
 }
@@ -78,7 +84,11 @@ fn fig11_efficiency_rises_with_n_and_ranks_modes() {
     assert!(rows[1].smimd > rows[0].smimd, "efficiency grows with n");
     assert!(rows[1].mimd > rows[0].mimd);
     for r in &rows {
-        assert!(r.simd > r.smimd && r.smimd > r.mimd, "mode ordering at n={}", r.n);
+        assert!(
+            r.simd > r.smimd && r.smimd > r.mimd,
+            "mode ordering at n={}",
+            r.n
+        );
         assert!(r.mimd > 0.1 && r.simd < 1.6, "sane range at n={}", r.n);
     }
 }
@@ -112,7 +122,10 @@ fn ablation_lockstep_never_beats_decoupled() {
 #[test]
 fn ablation_tiny_queue_slows_simd() {
     let rows = ablation_queue(&cfg(), 16, 4, &[8, 512], 7);
-    assert!(rows[0].simd_ms > rows[1].simd_ms, "a starved queue must cost time");
+    assert!(
+        rows[0].simd_ms > rows[1].simd_ms,
+        "a starved queue must cost time"
+    );
     assert!(rows[0].empty_stall_cycles > rows[1].empty_stall_cycles);
 }
 

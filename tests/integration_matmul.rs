@@ -80,7 +80,11 @@ fn extra_multiplies_do_not_change_the_result() {
 #[test]
 fn smaller_machine_configs_work_too() {
     // The simulator is not hard-wired to the 16-PE prototype.
-    let cfg = MachineConfig { n_pes: 8, n_mcs: 2, ..MachineConfig::prototype() };
+    let cfg = MachineConfig {
+        n_pes: 8,
+        n_mcs: 2,
+        ..MachineConfig::prototype()
+    };
     let a = Matrix::uniform(8, 11);
     let b = Matrix::uniform(8, 12);
     for mode in [Mode::Simd, Mode::Mimd, Mode::Smimd] {

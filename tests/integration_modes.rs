@@ -12,7 +12,9 @@ fn cfg() -> MachineConfig {
 
 fn cycles(mode: Mode, n: usize, p: usize, extra: usize) -> u64 {
     let (a, b) = paper_workload(n, 1988);
-    run_matmul(&cfg(), mode, Params::new(n, p).with_extra(extra), &a, &b).unwrap().cycles
+    run_matmul(&cfg(), mode, Params::new(n, p).with_extra(extra), &a, &b)
+        .unwrap()
+        .cycles
 }
 
 #[test]
@@ -85,7 +87,10 @@ fn mimd_pays_more_communication_than_smimd() {
     // Compute sections are the same code: times must be close.
     let m = mimd.run.phase_max(PHASE_MUL as usize) as f64;
     let s = smimd.run.phase_max(PHASE_MUL as usize) as f64;
-    assert!((m - s).abs() / s < 0.05, "multiply sections nearly equal: {m} vs {s}");
+    assert!(
+        (m - s).abs() / s < 0.05,
+        "multiply sections nearly equal: {m} vs {s}"
+    );
 }
 
 #[test]
@@ -120,8 +125,13 @@ fn all_pes_do_the_same_number_of_multiplies() {
     let (a, b) = paper_workload(16, 1);
     for mode in Mode::PARALLEL {
         let out = run_matmul(&cfg(), mode, Params::new(16, 4), &a, &b).unwrap();
-        let counts: Vec<u64> =
-            out.run.pe.iter().filter(|t| t.instrs > 0).map(|t| t.mul_count).collect();
+        let counts: Vec<u64> = out
+            .run
+            .pe
+            .iter()
+            .filter(|t| t.instrs > 0)
+            .map(|t| t.mul_count)
+            .collect();
         assert_eq!(counts.len(), 4, "{mode}");
         assert!(counts.iter().all(|&c| c == counts[0]), "{mode}: {counts:?}");
         // n³/p multiplies each.

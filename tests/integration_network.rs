@@ -23,9 +23,10 @@ fn matmul_survives_an_interior_stage_fault() {
     let vm = select_vm(&cfg, 4);
     let layout = Layout::parallel(16, 4);
     layout.load(&mut machine, &vm.pes, &a, &b);
-    machine.connect_ring(&vm.pes).expect("ring must route around the fault");
-    let pe_prog =
-        pasm_prog::matmul::mimd::pe_program(params, pasm_prog::CommSync::Barrier);
+    machine
+        .connect_ring(&vm.pes)
+        .expect("ring must route around the fault");
+    let pe_prog = pasm_prog::matmul::mimd::pe_program(params, pasm_prog::CommSync::Barrier);
     for &pe in &vm.pes {
         machine.load_pe_program(pe, pe_prog.clone());
     }
@@ -48,7 +49,9 @@ fn output_stage_fault_forces_extra_stage_and_still_works() {
     // All ring patterns of the experiments must still establish.
     for p in [4usize, 8, 16] {
         let vm = select_vm(machine.config(), p);
-        machine.connect_ring(&vm.pes).unwrap_or_else(|e| panic!("ring p={p}: {e}"));
+        machine
+            .connect_ring(&vm.pes)
+            .unwrap_or_else(|e| panic!("ring p={p}: {e}"));
         machine.network_mut().release_all();
     }
 }
@@ -59,7 +62,9 @@ fn ring_circuits_coexist_for_every_experiment_size() {
     for p in [2usize, 4, 8, 16] {
         let mut machine = Machine::new(cfg.clone());
         let vm = select_vm(&cfg, p);
-        machine.connect_ring(&vm.pes).unwrap_or_else(|e| panic!("ring p={p}: {e}"));
+        machine
+            .connect_ring(&vm.pes)
+            .unwrap_or_else(|e| panic!("ring p={p}: {e}"));
     }
 }
 

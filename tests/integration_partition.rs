@@ -22,8 +22,10 @@ fn job(mode: Mode, n: usize, p: usize, mcs: Vec<usize>, seed: u64) -> Job {
 
 #[test]
 fn two_concurrent_mimd_jobs_are_both_correct() {
-    let jobs =
-        [job(Mode::Mimd, 16, 4, vec![0], 1), job(Mode::Mimd, 8, 4, vec![1], 2)];
+    let jobs = [
+        job(Mode::Mimd, 16, 4, vec![0], 1),
+        job(Mode::Mimd, 8, 4, vec![1], 2),
+    ];
     let out = run_concurrent(&cfg(), &jobs).unwrap();
     for (j, o) in jobs.iter().zip(&out) {
         assert_eq!(o.c, j.a.multiply(&j.b), "{:?}", j.mode);
@@ -67,7 +69,13 @@ fn partitions_have_exact_timing_isolation() {
     let (a, b) = paper_workload(16, 9);
     let solo = run_matmul(&cfg(), Mode::Smimd, Params::new(16, 4), &a, &b).unwrap();
     let jobs = [
-        Job { mode: Mode::Smimd, params: Params::new(16, 4), mcs: vec![0], a, b },
+        Job {
+            mode: Mode::Smimd,
+            params: Params::new(16, 4),
+            mcs: vec![0],
+            a,
+            b,
+        },
         job(Mode::Mimd, 16, 4, vec![1], 11),
     ];
     let out = run_concurrent(&cfg(), &jobs).unwrap();
@@ -80,7 +88,10 @@ fn partitions_have_exact_timing_isolation() {
 #[test]
 #[should_panic(expected = "claimed by two jobs")]
 fn overlapping_partitions_are_rejected() {
-    let jobs = [job(Mode::Mimd, 8, 4, vec![0], 1), job(Mode::Mimd, 8, 4, vec![0], 2)];
+    let jobs = [
+        job(Mode::Mimd, 8, 4, vec![0], 1),
+        job(Mode::Mimd, 8, 4, vec![0], 2),
+    ];
     let _ = run_concurrent(&cfg(), &jobs);
 }
 

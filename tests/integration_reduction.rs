@@ -3,16 +3,17 @@
 
 use pasm::{run_reduction, MachineConfig, Mode};
 use pasm_prog::reduction::reference_sum;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pasm_util::Rng;
 
 fn cfg() -> MachineConfig {
     MachineConfig::prototype()
 }
 
 fn blocks(k: usize, p: usize, seed: u64) -> Vec<Vec<u16>> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..p).map(|_| (0..k).map(|_| rng.gen()).collect()).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..p)
+        .map(|_| (0..k).map(|_| rng.gen_u16()).collect())
+        .collect()
 }
 
 #[test]
@@ -41,8 +42,14 @@ fn communication_protocol_cost_ordering() {
     let data = blocks(4, p, 9);
     let t = |mode| run_reduction(&cfg(), mode, 4, p, &data).unwrap().cycles;
     let (simd, mimd, smimd) = (t(Mode::Simd), t(Mode::Mimd), t(Mode::Smimd));
-    assert!(mimd > smimd, "polling ({mimd}) must cost more than barriers ({smimd})");
-    assert!(mimd > simd, "polling ({mimd}) must cost more than lockstep ({simd})");
+    assert!(
+        mimd > smimd,
+        "polling ({mimd}) must cost more than barriers ({smimd})"
+    );
+    assert!(
+        mimd > simd,
+        "polling ({mimd}) must cost more than lockstep ({simd})"
+    );
 }
 
 #[test]
@@ -50,8 +57,12 @@ fn reduction_scales_with_block_size() {
     let p = 4;
     let small = blocks(8, p, 1);
     let large = blocks(256, p, 1);
-    let ts = run_reduction(&cfg(), Mode::Mimd, 8, p, &small).unwrap().cycles;
-    let tl = run_reduction(&cfg(), Mode::Mimd, 256, p, &large).unwrap().cycles;
+    let ts = run_reduction(&cfg(), Mode::Mimd, 8, p, &small)
+        .unwrap()
+        .cycles;
+    let tl = run_reduction(&cfg(), Mode::Mimd, 256, p, &large)
+        .unwrap()
+        .cycles;
     assert!(tl > ts);
     // The local-sum section is O(k); 32x the data should be >5x the time even
     // with the fixed ring cost.

@@ -1,0 +1,316 @@
+//! End-to-end test of the `pasm-server` simulation service over localhost:
+//! a real TCP client submits jobs, polls them to completion, exercises the
+//! cache and the bounded queue, and drains the server (ISSUE 2 acceptance).
+
+use pasm_server::{Server, ServerConfig};
+use pasm_util::{json, Json};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Minimal HTTP/1.1 client: one request per connection, like the server.
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line: {raw:?}"));
+    let payload = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    let parsed = json::parse(payload).unwrap_or_else(|e| panic!("bad JSON body {payload:?}: {e}"));
+    (status, parsed)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Json) {
+    request(addr, "GET", path, None)
+}
+
+fn submit(addr: SocketAddr, body: &str) -> (u16, Json) {
+    request(addr, "POST", "/submit", Some(body))
+}
+
+fn job_id(resp: &Json) -> u64 {
+    resp.get("job_id")
+        .and_then(Json::as_u64)
+        .expect("job_id in response")
+}
+
+fn status_str(resp: &Json) -> String {
+    resp.get("status")
+        .and_then(Json::as_str)
+        .expect("status in response")
+        .to_string()
+}
+
+/// Poll `/status/<id>` until the job is terminal.
+fn await_terminal(addr: SocketAddr, id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (code, body) = get(addr, &format!("/status/{id}"));
+        assert_eq!(code, 200, "status of known job: {body:?}");
+        match status_str(&body).as_str() {
+            "queued" | "running" => {
+                assert!(Instant::now() < deadline, "job {id} did not finish in time");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            _ => return body,
+        }
+    }
+}
+
+fn start(workers: usize, queue_depth: usize) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth,
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+#[test]
+fn batch_of_jobs_completes_across_workers() {
+    let mut server = start(4, 256);
+    let addr = server.addr();
+
+    // 100+ distinct matmul jobs across all four modes.
+    let mut ids = Vec::new();
+    let mut expected_done = 0u64;
+    for round in 0..26 {
+        for mode in ["serial", "simd", "mimd", "smimd"] {
+            let n = 4 + 4 * (round % 4); // 4, 8, 12, 16 — p=4 divides all
+            let extra = round / 4;
+            let body =
+                format!(r#"{{"mode":"{mode}","n":{n},"p":4,"extra_muls":{extra},"seed":77}}"#);
+            let (code, resp) = submit(addr, &body);
+            assert!(
+                code == 202 || code == 200,
+                "submit accepted: {code} {resp:?}"
+            );
+            ids.push(job_id(&resp));
+            expected_done += 1;
+        }
+    }
+    assert!(ids.len() >= 100, "submitted {} jobs", ids.len());
+
+    for &id in &ids {
+        let st = await_terminal(addr, id);
+        assert_eq!(status_str(&st), "done", "job {id}: {st:?}");
+        let (code, result) = get(addr, &format!("/result/{id}"));
+        assert_eq!(code, 200, "result of done job: {result:?}");
+        let res = result.get("result").expect("result payload");
+        assert!(res.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+        let checksum = res
+            .get("c_checksum")
+            .and_then(Json::as_str)
+            .expect("hex checksum");
+        assert_eq!(checksum.len(), 16, "fixed-width hex: {checksum:?}");
+    }
+
+    let (code, stats) = get(addr, "/stats");
+    assert_eq!(code, 200);
+    assert_eq!(
+        stats.get("completed").and_then(Json::as_u64).unwrap(),
+        expected_done
+    );
+    assert_eq!(stats.get("failed").and_then(Json::as_u64).unwrap(), 0);
+    let recent = stats
+        .get("recent")
+        .and_then(Json::as_arr)
+        .expect("recent JSONL lines");
+    assert!(!recent.is_empty(), "stats carries per-job JSONL lines");
+    // Each recent entry is itself a valid JSON object with the accounting fields.
+    let line = json::parse(recent[0].as_str().unwrap()).expect("recent line is JSON");
+    for field in ["job_id", "mode", "n", "p", "cycles", "wall_ms", "cache"] {
+        assert!(
+            line.get(field).is_some(),
+            "JSONL line has `{field}`: {line:?}"
+        );
+    }
+
+    let (code, health) = get(addr, "/healthz");
+    assert_eq!(code, 200);
+    assert_eq!(health.get("workers").and_then(Json::as_u64).unwrap(), 4);
+
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_submission_is_served_from_cache() {
+    let mut server = start(2, 64);
+    let addr = server.addr();
+    let body = r#"{"mode":"smimd","n":16,"p":4,"seed":4242}"#;
+
+    let (code, first) = submit(addr, body);
+    assert_eq!(code, 202, "first submission simulates: {first:?}");
+    let first_id = job_id(&first);
+    let st = await_terminal(addr, first_id);
+    assert_eq!(status_str(&st), "done");
+    assert_eq!(st.get("cached").and_then(Json::as_bool), Some(false));
+
+    let (_, stats) = get(addr, "/stats");
+    let hits_before = stats
+        .get("cache")
+        .unwrap()
+        .get("hits")
+        .and_then(Json::as_u64)
+        .unwrap();
+
+    // Identical key → served synchronously from the cache, no queueing.
+    let (code, second) = submit(addr, body);
+    assert_eq!(code, 200, "cache hit completes at submit time: {second:?}");
+    assert_eq!(status_str(&second), "done");
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    assert_ne!(job_id(&second), first_id, "a fresh job id even on a hit");
+    assert_eq!(
+        second.get("key").and_then(Json::as_str),
+        first.get("key").and_then(Json::as_str),
+        "same content fingerprint"
+    );
+
+    let (_, stats) = get(addr, "/stats");
+    let hits_after = stats
+        .get("cache")
+        .unwrap()
+        .get("hits")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(hits_after, hits_before + 1, "hit counter incremented");
+
+    // Both results are byte-identical (deterministic simulator).
+    let (_, r1) = get(addr, &format!("/result/{first_id}"));
+    let (_, r2) = get(addr, &format!("/result/{}", job_id(&second)));
+    assert_eq!(
+        r1.get("result").unwrap().dump(),
+        r2.get("result").unwrap().dump()
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_queue_full() {
+    // One worker, tiny queue, big jobs: the queue must saturate.
+    let mut server = start(1, 2);
+    let addr = server.addr();
+
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    for seed in 0..32 {
+        // Distinct seeds defeat the cache; n=48 keeps each job slow enough
+        // for the queue to fill faster than one worker drains it.
+        let body = format!(r#"{{"mode":"mimd","n":48,"p":4,"seed":{seed}}}"#);
+        let (code, resp) = submit(addr, &body);
+        match code {
+            202 => accepted.push(job_id(&resp)),
+            429 => {
+                assert_eq!(resp.get("error").and_then(Json::as_str), Some("queue_full"));
+                assert_eq!(resp.get("queue_depth").and_then(Json::as_u64), Some(2));
+                rejected += 1;
+            }
+            other => panic!("unexpected status {other}: {resp:?}"),
+        }
+    }
+    assert!(rejected > 0, "saturated queue pushed back");
+    assert!(!accepted.is_empty());
+
+    // Every accepted job still completes.
+    for &id in &accepted {
+        assert_eq!(status_str(&await_terminal(addr, id)), "done");
+    }
+    let (_, stats) = get(addr, "/stats");
+    assert_eq!(
+        stats
+            .get("rejected_queue_full")
+            .and_then(Json::as_u64)
+            .unwrap(),
+        rejected
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_admitted_jobs() {
+    let mut server = start(2, 64);
+    let addr = server.addr();
+
+    let mut accepted = 0u64;
+    for seed in 100..116 {
+        let body = format!(r#"{{"mode":"simd","n":32,"p":4,"seed":{seed}}}"#);
+        let (code, _) = submit(addr, &body);
+        assert_eq!(code, 202);
+        accepted += 1;
+    }
+
+    // Drain immediately: shutdown must not return until every admitted job
+    // has been simulated by the pool.
+    server.shutdown();
+    assert!(server.all_jobs_terminal(), "no job left queued or running");
+    let stats = server.snapshot();
+    assert_eq!(
+        stats.get("completed").and_then(Json::as_u64).unwrap(),
+        accepted,
+        "all admitted jobs completed during drain: {stats:?}"
+    );
+    // The listener is gone: new connections are refused.
+    assert!(TcpStream::connect(addr).is_err(), "accept loop exited");
+}
+
+#[test]
+fn cancel_expire_and_error_paths() {
+    let mut server = start(1, 16);
+    let addr = server.addr();
+
+    // Occupy the single worker with a chain of slow jobs.
+    for seed in 0..4 {
+        let body = format!(r#"{{"mode":"mimd","n":48,"p":4,"seed":{seed}}}"#);
+        submit(addr, &body);
+    }
+
+    // A queued job with an already-expired deadline is dropped unrun.
+    let (code, doomed) = submit(
+        addr,
+        r#"{"mode":"simd","n":32,"p":4,"seed":900,"deadline_ms":0}"#,
+    );
+    assert_eq!(code, 202);
+    let doomed_id = job_id(&doomed);
+
+    // A queued job can be canceled while it waits.
+    let (code, victim) = submit(addr, r#"{"mode":"simd","n":32,"p":4,"seed":901}"#);
+    assert_eq!(code, 202);
+    let victim_id = job_id(&victim);
+    let (code, canceled) = request(addr, "POST", &format!("/cancel/{victim_id}"), None);
+    assert_eq!(code, 200, "queued job cancels: {canceled:?}");
+    assert_eq!(status_str(&canceled), "canceled");
+    let (code, gone) = get(addr, &format!("/result/{victim_id}"));
+    assert_eq!(code, 409, "canceled job has no result: {gone:?}");
+
+    assert_eq!(status_str(&await_terminal(addr, doomed_id)), "expired");
+
+    // Client errors: bad body, unknown mode, unknown job, bad method.
+    let (code, resp) = submit(addr, "not json");
+    assert_eq!(code, 400, "{resp:?}");
+    let (code, resp) = submit(addr, r#"{"mode":"warp","n":8}"#);
+    assert_eq!(code, 400, "{resp:?}");
+    let (code, resp) = get(addr, "/status/999999");
+    assert_eq!(code, 404, "{resp:?}");
+    let (code, resp) = request(addr, "POST", "/healthz", None);
+    assert_eq!(code, 405, "{resp:?}");
+    let (code, resp) = get(addr, "/nope");
+    assert_eq!(code, 404, "{resp:?}");
+
+    server.shutdown();
+}
