@@ -16,4 +16,10 @@ cargo build --release --locked
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "==> breakdown smoke-run (n=4 cycle-accounting signatures)"
+cargo run --release -q -p bench --bin breakdown -- --quick >/dev/null
+
 echo "==> ci.sh: all green"

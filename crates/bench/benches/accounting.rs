@@ -1,0 +1,71 @@
+//! Guard for the cycle-accounting observability layer: accounting must be
+//! effectively free to leave on. Benchmarks the same workloads with
+//! accounting enabled (the default) and disabled, and asserts up front that
+//! the toggle changes the *simulated* results by exactly zero — the buckets
+//! are bookkeeping on the side of the scheduler, never an input to it.
+
+use bench::micro::{black_box, BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
+use pasm_machine::{Machine, MachineConfig};
+use pasm_prog::microbench::{self, MipsKind};
+
+/// One MIMD interpreter run with the toggle in the given position.
+fn mimd_run(prog: &pasm_isa::Program, enabled: bool) -> u64 {
+    let mut m = Machine::new(MachineConfig::small());
+    m.set_accounting(enabled);
+    m.load_pe_program(0, prog.clone());
+    m.start_pe(0, 0);
+    m.run().unwrap().makespan
+}
+
+/// One SIMD broadcast run (exercises the Fetch-Unit release path, where
+/// accounting charges barrier waits) with the toggle in the given position.
+fn simd_run(pe: &pasm_isa::Program, mc: &pasm_isa::Program, enabled: bool) -> u64 {
+    let mut m = Machine::new(MachineConfig::small());
+    m.set_accounting(enabled);
+    for i in 0..4 {
+        m.load_pe_program(i, pe.clone());
+    }
+    m.load_mc_program(0, mc.clone());
+    m.run().unwrap().makespan
+}
+
+fn bench_toggle(c: &mut Criterion) {
+    let prog = microbench::mimd_program(MipsKind::MoveMemory, 64, 500);
+
+    // The invariant the bench exists to guard: identical simulated time.
+    assert_eq!(
+        mimd_run(&prog, true),
+        mimd_run(&prog, false),
+        "disabling accounting must not change simulated cycles"
+    );
+
+    let mut g = c.benchmark_group("accounting_toggle");
+    for (name, enabled) in [("on", true), ("off", false)] {
+        g.bench_function(BenchmarkId::new("mimd_interp", name), |b| {
+            b.iter(|| black_box(mimd_run(&prog, enabled)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_toggle_simd(c: &mut Criterion) {
+    let (pe, mc) = microbench::simd_programs(MipsKind::AddRegister, 64, 500, 0xF);
+
+    assert_eq!(
+        simd_run(&pe, &mc, true),
+        simd_run(&pe, &mc, false),
+        "disabling accounting must not change simulated cycles (SIMD)"
+    );
+
+    let mut g = c.benchmark_group("accounting_toggle");
+    for (name, enabled) in [("on", true), ("off", false)] {
+        g.bench_function(BenchmarkId::new("simd_broadcast", name), |b| {
+            b.iter(|| black_box(simd_run(&pe, &mc, enabled)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_toggle, bench_toggle_simd);
+criterion_main!(benches);

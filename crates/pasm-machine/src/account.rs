@@ -1,0 +1,431 @@
+//! Cycle accounting: attributing every simulated cycle to a cause.
+//!
+//! The paper's contribution is a *measurement* story — MC68000 cycles
+//! attributed to instruction fetch, data-dependent multiplies, lockstep
+//! barrier waits, and network transfers across SIMD/MIMD/S-MIMD — so the
+//! simulator keeps a [`CycleAccount`] per PE and per MC that buckets every
+//! cycle of the component's lifetime into one of six [`Bucket`]s, plus a
+//! per-opcode histogram and timestamped phase spans.
+//!
+//! The invariant that makes the accounting auditable (and that the
+//! integration suite asserts for every mode): for a halted component,
+//!
+//! ```text
+//! started_at + Σ buckets == finished_at
+//! ```
+//!
+//! — no cycle is dropped and none is double-counted.
+//!
+//! Accounting is enabled by default and can be switched off with
+//! [`crate::Machine::set_accounting`]; the toggle affects only what is
+//! *recorded*, never the simulated timing, so disabling it changes cycle
+//! results by exactly zero (tested) and removes the bookkeeping cost from
+//! the hot loop (guarded by `benches/accounting.rs`).
+
+use crate::trace::N_PHASES;
+use pasm_isa::Instr;
+
+/// Number of cycle buckets.
+pub const N_BUCKETS: usize = 6;
+
+/// Where a simulated cycle went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bucket {
+    /// Instruction-fetch memory wait states (queue SRAM in SIMD mode, PE DRAM
+    /// in MIMD mode — their difference is the superlinearity argument).
+    Fetch = 0,
+    /// Core execution cycles at their data-independent minimum.
+    Compute = 1,
+    /// Data-dependent cycles of `MULU`/`MULS`/`DIVU`/`DIVS` beyond that
+    /// minimum — the paper's non-deterministic instruction time.
+    MultiplyVariance = 2,
+    /// Waiting on the Fetch Unit: SIMD lockstep release, S/MIMD barrier
+    /// reads, queue-empty stalls, and (for MCs) the controller handshake.
+    BarrierWait = 3,
+    /// Network cycles: transfer-register stalls and in-flight byte latency.
+    Network = 4,
+    /// Operand (data) memory wait states, including DRAM refresh.
+    MemoryWait = 5,
+}
+
+/// Stable exposition names of the buckets, indexable by `Bucket as usize`.
+pub const BUCKET_NAMES: [&str; N_BUCKETS] = [
+    "fetch",
+    "compute",
+    "multiply_variance",
+    "barrier_wait",
+    "network",
+    "memory_wait",
+];
+
+impl Bucket {
+    /// All buckets, in index order.
+    pub const ALL: [Bucket; N_BUCKETS] = [
+        Bucket::Fetch,
+        Bucket::Compute,
+        Bucket::MultiplyVariance,
+        Bucket::BarrierWait,
+        Bucket::Network,
+        Bucket::MemoryWait,
+    ];
+
+    /// The bucket's stable snake_case name (used in JSON and `/metrics`).
+    pub fn name(self) -> &'static str {
+        BUCKET_NAMES[self as usize]
+    }
+}
+
+/// Number of distinct opcodes tracked by the histogram.
+pub const N_OPCODES: usize = 46;
+
+/// Mnemonics in histogram-index order (see [`opcode_index`]).
+pub const OPCODE_NAMES: [&str; N_OPCODES] = [
+    "MOVE",
+    "MOVEA",
+    "MOVEQ",
+    "LEA",
+    "CLR",
+    "SWAP",
+    "EXT",
+    "ADD",
+    "ADD-to-mem",
+    "ADDA",
+    "ADDQ",
+    "SUB",
+    "SUB-to-mem",
+    "SUBA",
+    "SUBQ",
+    "NEG",
+    "MULU",
+    "MULS",
+    "DIVU",
+    "DIVS",
+    "AND",
+    "OR",
+    "OR-to-mem",
+    "EOR",
+    "NOT",
+    "SHIFT",
+    "BTST",
+    "CMP",
+    "CMPA",
+    "CMPI",
+    "TST",
+    "Bcc",
+    "DBRA",
+    "JMP",
+    "JSR",
+    "RTS",
+    "NOP",
+    "JMPSIMD",
+    "JMPMIMD",
+    "BARRIER",
+    "SETMASK",
+    "ENQ",
+    "ENQW",
+    "STARTPES",
+    "MARK",
+    "HALT",
+];
+
+/// Histogram index of an instruction (one slot per opcode family).
+pub fn opcode_index(instr: &Instr) -> usize {
+    match instr {
+        Instr::Move { .. } => 0,
+        Instr::Movea { .. } => 1,
+        Instr::Moveq { .. } => 2,
+        Instr::Lea { .. } => 3,
+        Instr::Clr { .. } => 4,
+        Instr::Swap { .. } => 5,
+        Instr::Ext { .. } => 6,
+        Instr::Add { .. } => 7,
+        Instr::AddTo { .. } => 8,
+        Instr::Adda { .. } => 9,
+        Instr::Addq { .. } => 10,
+        Instr::Sub { .. } => 11,
+        Instr::SubTo { .. } => 12,
+        Instr::Suba { .. } => 13,
+        Instr::Subq { .. } => 14,
+        Instr::Neg { .. } => 15,
+        Instr::Mulu { .. } => 16,
+        Instr::Muls { .. } => 17,
+        Instr::Divu { .. } => 18,
+        Instr::Divs { .. } => 19,
+        Instr::And { .. } => 20,
+        Instr::Or { .. } => 21,
+        Instr::OrTo { .. } => 22,
+        Instr::Eor { .. } => 23,
+        Instr::Not { .. } => 24,
+        Instr::Shift { .. } => 25,
+        Instr::Btst { .. } => 26,
+        Instr::Cmp { .. } => 27,
+        Instr::Cmpa { .. } => 28,
+        Instr::Cmpi { .. } => 29,
+        Instr::Tst { .. } => 30,
+        Instr::Bcc { .. } => 31,
+        Instr::Dbra { .. } => 32,
+        Instr::Jmp { .. } => 33,
+        Instr::Jsr { .. } => 34,
+        Instr::Rts => 35,
+        Instr::Nop => 36,
+        Instr::JmpSimd => 37,
+        Instr::JmpMimd { .. } => 38,
+        Instr::Barrier => 39,
+        Instr::SetMask { .. } => 40,
+        Instr::Enqueue { .. } => 41,
+        Instr::EnqueueWords { .. } => 42,
+        Instr::StartPes => 43,
+        Instr::Mark { .. } => 44,
+        Instr::Halt => 45,
+    }
+}
+
+/// Data-dependent cycles beyond the instruction's minimum: the
+/// [`Bucket::MultiplyVariance`] contribution of one executed instruction.
+/// `data_dependent` is the `mulu_cycles` field of the step result.
+pub fn variance_cycles(instr: &Instr, data_dependent: u32) -> u32 {
+    let min = match instr {
+        // MULU/MULS: 38 + 2·(bit measure); the measure can be zero.
+        Instr::Mulu { .. } | Instr::Muls { .. } => 38,
+        // DIVU: 76 + 4·(quotient zeros); the overflow early-out (10) is
+        // data-dependent too but below the minimum, so it saturates to 0.
+        Instr::Divu { .. } => 76,
+        // DIVS adds a constant 8-cycle sign fix-up to the DIVU core.
+        Instr::Divs { .. } => 84,
+        _ => return 0,
+    };
+    data_dependent.saturating_sub(min)
+}
+
+/// A closed instrumentation-phase interval on one component's local timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase id (see `pasm-prog`'s `PHASE_*` constants).
+    pub phase: u8,
+    /// Local cycle the begin marker executed.
+    pub start: u64,
+    /// Local cycle the end marker executed.
+    pub end: u64,
+}
+
+/// Cycle breakdown of one component (PE or MC).
+#[derive(Debug, Clone)]
+pub struct CycleAccount {
+    /// Local cycle at which the component first became runnable.
+    pub started_at: u64,
+    /// Timestamped phase intervals, in close order.
+    pub spans: Vec<PhaseSpan>,
+    buckets: [u64; N_BUCKETS],
+    op_count: [u64; N_OPCODES],
+    op_cycles: [u64; N_OPCODES],
+    phase_open: [Option<u64>; N_PHASES],
+}
+
+impl Default for CycleAccount {
+    fn default() -> Self {
+        CycleAccount {
+            started_at: 0,
+            spans: Vec::new(),
+            buckets: [0; N_BUCKETS],
+            op_count: [0; N_OPCODES],
+            op_cycles: [0; N_OPCODES],
+            phase_open: [None; N_PHASES],
+        }
+    }
+}
+
+impl CycleAccount {
+    /// Add `cycles` to a bucket.
+    pub fn charge(&mut self, bucket: Bucket, cycles: u64) {
+        self.buckets[bucket as usize] += cycles;
+    }
+
+    /// One bucket's accumulated cycles.
+    pub fn bucket(&self, bucket: Bucket) -> u64 {
+        self.buckets[bucket as usize]
+    }
+
+    /// All buckets, indexable by `Bucket as usize` / [`BUCKET_NAMES`].
+    pub fn buckets(&self) -> &[u64; N_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Sum over all buckets. For a halted component this equals
+    /// `finished_at - started_at` (the audited invariant).
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Record one executed instruction in the opcode histogram. `duration`
+    /// is its full cost including memory waits.
+    pub fn record_instr(&mut self, instr: &Instr, duration: u64) {
+        if matches!(instr, Instr::Mark { .. }) {
+            return; // instrumentation, not a machine instruction
+        }
+        let i = opcode_index(instr);
+        self.op_count[i] += 1;
+        self.op_cycles[i] += duration;
+    }
+
+    /// Handle a phase marker at local time `now`, recording closed intervals.
+    pub fn mark(&mut self, begin: bool, phase: u8, now: u64) {
+        let p = phase as usize % N_PHASES;
+        if begin {
+            self.phase_open[p] = Some(now);
+        } else if let Some(start) = self.phase_open[p].take() {
+            self.spans.push(PhaseSpan {
+                phase: p as u8,
+                start,
+                end: now,
+            });
+        }
+    }
+
+    /// Non-empty opcode-histogram rows as `(mnemonic, count, cycles)`.
+    pub fn opcode_histogram(&self) -> Vec<(&'static str, u64, u64)> {
+        (0..N_OPCODES)
+            .filter(|&i| self.op_count[i] > 0)
+            .map(|i| (OPCODE_NAMES[i], self.op_count[i], self.op_cycles[i]))
+            .collect()
+    }
+}
+
+/// The full machine's accounts: one [`CycleAccount`] per PE and per MC.
+#[derive(Debug, Clone, Default)]
+pub struct MachineAccounts {
+    /// Per-PE accounts, indexed by physical PE number.
+    pub pe: Vec<CycleAccount>,
+    /// Per-MC accounts, indexed by MC number.
+    pub mc: Vec<CycleAccount>,
+}
+
+impl MachineAccounts {
+    /// Fresh zeroed accounts for a machine of the given shape.
+    pub fn new(n_pes: usize, n_mcs: usize) -> Self {
+        MachineAccounts {
+            pe: vec![CycleAccount::default(); n_pes],
+            mc: vec![CycleAccount::default(); n_mcs],
+        }
+    }
+
+    /// Bucket totals summed over all PEs (the per-job breakdown the server
+    /// exports; MCs excluded so the numbers speak about PE time).
+    pub fn pe_bucket_totals(&self) -> [u64; N_BUCKETS] {
+        let mut out = [0u64; N_BUCKETS];
+        for a in &self.pe {
+            for (o, b) in out.iter_mut().zip(a.buckets.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Bucket totals over every component, PEs and MCs alike.
+    pub fn bucket_totals(&self) -> [u64; N_BUCKETS] {
+        let mut out = self.pe_bucket_totals();
+        for a in &self.mc {
+            for (o, b) in out.iter_mut().zip(a.buckets.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasm_isa::{DataReg, Ea};
+
+    #[test]
+    fn charge_and_total() {
+        let mut a = CycleAccount::default();
+        a.charge(Bucket::Compute, 100);
+        a.charge(Bucket::Fetch, 7);
+        a.charge(Bucket::Compute, 1);
+        assert_eq!(a.bucket(Bucket::Compute), 101);
+        assert_eq!(a.total(), 108);
+    }
+
+    #[test]
+    fn opcode_names_cover_every_instruction() {
+        let mul = Instr::Mulu {
+            src: Ea::D(DataReg::D1),
+            dst: DataReg::D0,
+        };
+        assert_eq!(OPCODE_NAMES[opcode_index(&mul)], "MULU");
+        assert_eq!(OPCODE_NAMES[opcode_index(&Instr::Halt)], "HALT");
+        assert_eq!(OPCODE_NAMES.len(), N_OPCODES);
+    }
+
+    #[test]
+    fn variance_is_cycles_beyond_minimum() {
+        let mul = Instr::Mulu {
+            src: Ea::D(DataReg::D1),
+            dst: DataReg::D0,
+        };
+        assert_eq!(variance_cycles(&mul, 38), 0);
+        assert_eq!(variance_cycles(&mul, 70), 32);
+        assert_eq!(variance_cycles(&Instr::Nop, 0), 0);
+        let div = Instr::Divu {
+            src: Ea::D(DataReg::D1),
+            dst: DataReg::D0,
+        };
+        assert_eq!(variance_cycles(&div, 10), 0, "overflow early-out");
+        assert_eq!(variance_cycles(&div, 76 + 4 * 15), 60);
+    }
+
+    #[test]
+    fn marks_record_closed_spans() {
+        let mut a = CycleAccount::default();
+        a.mark(true, 1, 100);
+        a.mark(true, 2, 120);
+        a.mark(false, 2, 150);
+        a.mark(false, 1, 200);
+        a.mark(false, 3, 500); // end without begin: ignored
+        assert_eq!(
+            a.spans,
+            vec![
+                PhaseSpan {
+                    phase: 2,
+                    start: 120,
+                    end: 150
+                },
+                PhaseSpan {
+                    phase: 1,
+                    start: 100,
+                    end: 200
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn histogram_reports_only_executed_opcodes() {
+        let mut a = CycleAccount::default();
+        a.record_instr(&Instr::Nop, 4);
+        a.record_instr(&Instr::Nop, 4);
+        a.record_instr(&Instr::Halt, 4);
+        a.record_instr(
+            &Instr::Mark {
+                begin: true,
+                phase: 1,
+            },
+            0,
+        );
+        let h = a.opcode_histogram();
+        assert_eq!(h, vec![("NOP", 2, 8), ("HALT", 1, 4)]);
+    }
+
+    #[test]
+    fn machine_accounts_aggregate_over_components() {
+        let mut m = MachineAccounts::new(2, 1);
+        m.pe[0].charge(Bucket::Compute, 10);
+        m.pe[1].charge(Bucket::Compute, 5);
+        m.pe[1].charge(Bucket::BarrierWait, 3);
+        m.mc[0].charge(Bucket::Compute, 100);
+        assert_eq!(m.pe_bucket_totals()[Bucket::Compute as usize], 15);
+        assert_eq!(m.pe_bucket_totals()[Bucket::BarrierWait as usize], 3);
+        assert_eq!(m.bucket_totals()[Bucket::Compute as usize], 115);
+    }
+}

@@ -23,14 +23,18 @@
 //!
 //! The entry point is [`Machine`]; configure with [`MachineConfig`], load
 //! [`pasm_isa::Program`]s into PEs and MCs, establish circuits, and call
-//! [`Machine::run`] to obtain a [`RunResult`] with per-component traces.
+//! [`Machine::run`] to obtain a [`RunResult`] with per-component traces and
+//! — unless disabled via [`Machine::set_accounting`] — per-component
+//! [`CycleAccount`]s bucketing every simulated cycle by cause ([`account`]).
 
+pub mod account;
 pub mod config;
 pub mod cpu;
 pub mod fetch_unit;
 pub mod machine;
 pub mod trace;
 
+pub use account::{Bucket, CycleAccount, MachineAccounts, PhaseSpan, BUCKET_NAMES, N_BUCKETS};
 pub use config::{MachineConfig, ReleaseMode};
 pub use cpu::{Cpu, Effect, StepOutcome};
 pub use fetch_unit::FuStats;

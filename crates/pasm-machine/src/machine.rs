@@ -9,6 +9,7 @@
 //! actual polling instructions, and SIMD superlinearity from the MC executing
 //! control flow while its PEs compute.
 
+use crate::account::{variance_cycles, Bucket, MachineAccounts};
 use crate::config::{MachineConfig, ReleaseMode};
 use crate::cpu::{exec, Block, Bus, Cpu, Effect, McEffect, MemBus, StepOutcome};
 use crate::fetch_unit::{EntryKind, FetchUnit, FuStats, QueueEntry};
@@ -106,6 +107,8 @@ pub struct RunResult {
     pub mc: Vec<McTrace>,
     /// Per-Fetch-Unit statistics.
     pub fu: Vec<FuStats>,
+    /// Cycle accounts per component, `None` if accounting was disabled.
+    pub accounts: Option<MachineAccounts>,
 }
 
 impl RunResult {
@@ -166,6 +169,10 @@ pub struct Machine {
     fus: Vec<FetchUnit>,
     net: NetState,
     esc: EscNetwork,
+    /// Cycle accounts; `None` when accounting is disabled. Deliberately not
+    /// part of [`MachineConfig`] (which is hashed into cache keys): the toggle
+    /// only changes what is recorded, never the simulated timing.
+    acct: Option<MachineAccounts>,
 }
 
 enum Component {
@@ -209,6 +216,7 @@ impl Machine {
             rx: vec![None; cfg.n_pes],
         };
         let esc = EscNetwork::new(cfg.n_pes.max(2));
+        let acct = Some(MachineAccounts::new(cfg.n_pes, cfg.n_mcs));
         Machine {
             cfg,
             pes,
@@ -216,7 +224,24 @@ impl Machine {
             fus,
             net,
             esc,
+            acct,
         }
+    }
+
+    /// Enable or disable cycle accounting (enabled by default). Disabling it
+    /// removes all bookkeeping from the hot loop; simulated timing is
+    /// identical either way (tested and bench-guarded).
+    pub fn set_accounting(&mut self, enabled: bool) {
+        self.acct = if enabled {
+            Some(MachineAccounts::new(self.cfg.n_pes, self.cfg.n_mcs))
+        } else {
+            None
+        };
+    }
+
+    /// Whether cycle accounting is currently recording.
+    pub fn accounting_enabled(&self) -> bool {
+        self.acct.is_some()
     }
 
     /// The configuration this machine was built with.
@@ -302,6 +327,11 @@ impl Machine {
     /// Start a PE directly (tests / serial runs without MC orchestration).
     pub fn start_pe(&mut self, pe: usize, at: u64) {
         assert!(!self.pes[pe].program.is_empty(), "PE {pe} has no program");
+        if self.pes[pe].state == PeState::Idle {
+            if let Some(a) = self.acct.as_mut() {
+                a.pe[pe].started_at = at;
+            }
+        }
         self.pes[pe].state = PeState::Ready;
         self.pes[pe].ready_at = at;
     }
@@ -386,6 +416,7 @@ impl Machine {
             pe: self.pes.iter().map(|p| p.trace.clone()).collect(),
             mc: self.mcs.iter().map(|m| m.trace.clone()).collect(),
             fu: self.fus.iter().map(|f| f.stats).collect(),
+            accounts: self.acct.clone(),
         }
     }
 
@@ -478,6 +509,16 @@ impl Machine {
                 t.net_bytes_sent += 1;
             }
         }
+        if let Some(a) = self.acct.as_mut() {
+            let acc = &mut a.pe[i];
+            let var = variance_cycles(&instr, r.mulu_cycles) as u64;
+            acc.charge(Bucket::Compute, r.cycles as u64 - var);
+            acc.charge(Bucket::MultiplyVariance, var);
+            acc.charge(Bucket::Fetch, fetch_wait);
+            acc.charge(Bucket::MemoryWait, data_wait);
+            acc.charge(Bucket::Network, extra_cycles);
+            acc.record_instr(&instr, duration);
+        }
 
         // Network wakeups.
         if let Some(dest) = wrote_net_to {
@@ -485,6 +526,9 @@ impl Machine {
                 let valid_at = self.net.rx[dest].map(|b| b.valid_at).unwrap_or(new_now);
                 let wake = valid_at.max(since);
                 self.pes[dest].trace.net_rx_stall_cycles += wake - since;
+                if let Some(a) = self.acct.as_mut() {
+                    a.pe[dest].charge(Bucket::Network, wake - since);
+                }
                 self.pes[dest].state = PeState::Ready;
                 self.pes[dest].ready_at = wake;
             }
@@ -496,6 +540,9 @@ impl Machine {
                     if let PeState::AwaitNetTx { since } = self.pes[s].state {
                         let wake = new_now.max(since);
                         self.pes[s].trace.net_tx_stall_cycles += wake - since;
+                        if let Some(a) = self.acct.as_mut() {
+                            a.pe[s].charge(Bucket::Network, wake - since);
+                        }
                         self.pes[s].state = PeState::Ready;
                         self.pes[s].ready_at = wake;
                     }
@@ -512,6 +559,9 @@ impl Machine {
             Effect::None | Effect::Mark { .. } => {
                 if let Effect::Mark { begin, phase } = r.effect {
                     self.pes[i].trace.mark(begin, phase, new_now);
+                    if let Some(a) = self.acct.as_mut() {
+                        a.pe[i].mark(begin, phase, new_now);
+                    }
                 }
                 if self.pes[i].mode == PeMode::Simd {
                     self.issue_simd_request(i, new_now);
@@ -610,6 +660,9 @@ impl Machine {
                     unreachable!()
                 };
                 self.pes[pe].trace.simd_wait_cycles += release - since;
+                if let Some(a) = self.acct.as_mut() {
+                    a.pe[pe].charge(Bucket::BarrierWait, release - since);
+                }
                 self.pes[pe].state = PeState::Ready;
                 self.pes[pe].ready_at = release;
                 self.pes[pe].pending = match (self.pes[pe].mode, head.kind) {
@@ -654,6 +707,9 @@ impl Machine {
                 self.fus[mc].queue[cursor].consumed |= bit;
                 self.pes[pe].cursor += 1;
                 self.pes[pe].trace.simd_wait_cycles += release - since;
+                if let Some(a) = self.acct.as_mut() {
+                    a.pe[pe].charge(Bucket::BarrierWait, release - since);
+                }
                 self.pes[pe].state = PeState::Ready;
                 self.pes[pe].ready_at = release;
                 self.pes[pe].pending = match (self.pes[pe].mode, entry.kind) {
@@ -729,9 +785,24 @@ impl Machine {
             self.mcs[i].trace.instrs += 1;
         }
         self.mcs[i].trace.busy_cycles += new_now - now;
+        if let Some(a) = self.acct.as_mut() {
+            let acc = &mut a.mc[i];
+            let var = variance_cycles(&instr, r.mulu_cycles) as u64;
+            acc.charge(Bucket::Compute, r.cycles as u64 - var);
+            acc.charge(Bucket::MultiplyVariance, var);
+            acc.charge(Bucket::Fetch, fetch_wait);
+            acc.charge(Bucket::MemoryWait, data_wait);
+            acc.record_instr(&instr, new_now - now);
+        }
 
         match r.effect {
-            Effect::None | Effect::Mark { .. } => {}
+            Effect::None | Effect::Mark { .. } => {
+                if let Effect::Mark { begin, phase } = r.effect {
+                    if let Some(a) = self.acct.as_mut() {
+                        a.mc[i].mark(begin, phase, new_now);
+                    }
+                }
+            }
             Effect::Halt => {
                 self.mcs[i].state = McState::Halted;
                 self.mcs[i].trace.finished_at = new_now;
@@ -752,6 +823,9 @@ impl Machine {
                         if self.pes[pe].state == PeState::Idle && !self.pes[pe].program.is_empty() {
                             self.pes[pe].state = PeState::Ready;
                             self.pes[pe].ready_at = new_now;
+                            if let Some(a) = self.acct.as_mut() {
+                                a.pe[pe].started_at = new_now;
+                            }
                         }
                     }
                 }
@@ -771,6 +845,9 @@ impl Machine {
             if let McState::AwaitFuc { since } = self.mcs[i].state {
                 let wake = self.fus[i].fuc_free_at.max(since);
                 self.mcs[i].trace.fuc_wait_cycles += wake - since;
+                if let Some(a) = self.acct.as_mut() {
+                    a.mc[i].charge(Bucket::BarrierWait, wake - since);
+                }
                 self.mcs[i].state = McState::Ready;
                 self.mcs[i].ready_at = wake;
             }

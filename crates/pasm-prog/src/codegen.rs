@@ -28,6 +28,18 @@ use pasm_isa::{AddrReg, Cond, DataReg, Ea, Instr, ShiftCount, ShiftKind, Size};
 pub const PHASE_MUL: u8 = 1;
 /// Phase id of the communication section.
 pub const PHASE_COMM: u8 = 2;
+/// Phase id of the C-clearing loop (part of the paper's "other" time).
+pub const PHASE_CLEAR: u8 = 3;
+
+/// Stable span name of a phase id (the `name` field of JSONL trace events).
+pub fn phase_name(phase: u8) -> &'static str {
+    match phase {
+        PHASE_MUL => "mac_loop",
+        PHASE_COMM => "recirculation_transfer",
+        PHASE_CLEAR => "clear_loop",
+        _ => "unknown",
+    }
+}
 
 pub const A_PTR: AddrReg = AddrReg::A0;
 pub const C_PTR: AddrReg = AddrReg::A1;

@@ -37,6 +37,10 @@ pub fn pe_program(params: MatmulParams, sync: CommSync) -> Program {
     });
 
     // --- clear C (measured: part of the paper's "other" contribution) ---
+    b.emit(Instr::Mark {
+        begin: true,
+        phase: PHASE_CLEAR,
+    });
     b.emit(movea_a(C_BASE_R, C_PTR));
     b.emit(movei_w((cols * n - 1) as u32, CNT_MID));
     let clear = b.here("clear");
@@ -51,6 +55,10 @@ pub fn pe_program(params: MatmulParams, sync: CommSync) -> Program {
         },
         clear,
     );
+    b.emit(Instr::Mark {
+        begin: false,
+        phase: PHASE_CLEAR,
+    });
 
     // --- j loop: n rotation steps ---
     b.emit(movei_w((n - 1) as u32, CNT_OUT));

@@ -26,6 +26,10 @@ pub fn pe_program(params: MatmulParams) -> Program {
 
     // Clear C (n² words; the count-1 still fits the 16-bit loop counter
     // because DBRA runs count+1 iterations).
+    b.emit(Instr::Mark {
+        begin: true,
+        phase: PHASE_CLEAR,
+    });
     b.emit(lea_abs(layout.c_base(), C_PTR));
     b.emit(movei_w((n * n - 1) as u32, CNT_MID));
     let clear = b.here("clear");
@@ -40,6 +44,10 @@ pub fn pe_program(params: MatmulParams) -> Program {
         },
         clear,
     );
+    b.emit(Instr::Mark {
+        begin: false,
+        phase: PHASE_CLEAR,
+    });
 
     // c loop over C columns.
     b.emit(movei_w((n - 1) as u32, CNT_OUT));

@@ -147,6 +147,8 @@ pub fn mc_program(params: MatmulParams, mask: u16) -> Program {
     let blk_me1 = mark(&mut b, false, PHASE_MUL);
     let blk_mb2 = mark(&mut b, true, PHASE_COMM);
     let blk_me2 = mark(&mut b, false, PHASE_COMM);
+    let blk_cb = mark(&mut b, true, PHASE_CLEAR);
+    let blk_ce = mark(&mut b, false, PHASE_CLEAR);
 
     let blk_done = b.begin_block();
     b.emit(Instr::JmpMimd {
@@ -160,6 +162,7 @@ pub fn mc_program(params: MatmulParams, mask: u16) -> Program {
     b.emit(Instr::StartPes);
     b.emit(Instr::Enqueue { block: blk_init.0 });
 
+    b.emit(Instr::Enqueue { block: blk_cb.0 });
     b.emit(movei_w((cols * n / unroll - 1) as u32, CNT_MID));
     let mcclear = b.here("mcclear");
     b.emit(Instr::Enqueue { block: blk_clear.0 });
@@ -170,6 +173,7 @@ pub fn mc_program(params: MatmulParams, mask: u16) -> Program {
         },
         mcclear,
     );
+    b.emit(Instr::Enqueue { block: blk_ce.0 });
 
     b.emit(movei_w((n - 1) as u32, CNT_OUT));
     let mcj = b.here("mcj");

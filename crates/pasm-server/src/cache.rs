@@ -117,6 +117,7 @@ mod tests {
             multiply_cycles: 50,
             communication_cycles: 25,
             pe_instrs: 10,
+            pe_buckets: [0; pasm_machine::N_BUCKETS],
             c_checksum: 0,
         })
     }

@@ -68,7 +68,17 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
 
 /// Write a JSON response with the given status code and close the connection.
 pub fn write_json(stream: &mut TcpStream, status: u16, body: &Json) -> io::Result<()> {
-    let payload = body.dump();
+    write_text(stream, status, "application/json", &body.dump())
+}
+
+/// Write a response with an arbitrary Content-Type (the `/metrics` endpoint
+/// serves Prometheus exposition text) and close the connection.
+pub fn write_text(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    payload: &str,
+) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
         202 => "Accepted",
@@ -83,7 +93,7 @@ pub fn write_json(stream: &mut TcpStream, status: u16, body: &Json) -> io::Resul
     };
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
         payload.len()
     )?;
     stream.flush()

@@ -11,6 +11,9 @@
 //!   deterministic — with hit/miss counters,
 //! * **job lifecycle endpoints**: `POST /submit`, `GET /status/<id>`,
 //!   `GET /result/<id>`, `POST /cancel/<id>`, `GET /healthz`, `GET /stats`,
+//!   plus a hand-rolled Prometheus-text `GET /metrics` ([`metrics`]) with
+//!   queue/cache gauges, split cold/hit latency histograms, and the
+//!   aggregated simulation cycle buckets of the observability layer,
 //! * per-job **deadlines** (`deadline_ms`: a job still queued past its
 //!   deadline expires instead of simulating for nobody) and **graceful
 //!   drain** on shutdown (every admitted job reaches a terminal state),
@@ -24,6 +27,7 @@
 
 pub mod cache;
 pub mod http;
+pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;

@@ -1,0 +1,214 @@
+//! Hand-rolled Prometheus text exposition (`GET /metrics`).
+//!
+//! Renders the service counters, cache statistics, queue gauges, split
+//! cold/hit job-latency histograms, and the aggregated simulation cycle
+//! buckets in the [text exposition format], `std`-only like the rest of the
+//! stack. Metric names and labels are documented in `docs/OBSERVABILITY.md`.
+//!
+//! [text exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::cache::ResultCache;
+use crate::stats::{HistSnapshot, Stats, LATENCY_BOUNDS_MS};
+use pasm_machine::BUCKET_NAMES;
+use std::fmt::Write;
+use std::sync::atomic::Ordering;
+
+/// The Content-Type of the exposition payload.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    header(out, name, help, "counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    header(out, name, help, "gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// One histogram in exposition form: cumulative `_bucket{le=…}` series per
+/// `kind` label value, then `_sum` and `_count`.
+fn histogram(out: &mut String, name: &str, help: &str, series: &[(&str, HistSnapshot)]) {
+    header(out, name, help, "histogram");
+    for (kind, snap) in series {
+        let mut cumulative = 0u64;
+        for (i, c) in snap.counts.iter().enumerate() {
+            cumulative += c;
+            let le = if i < LATENCY_BOUNDS_MS.len() {
+                LATENCY_BOUNDS_MS[i].to_string()
+            } else {
+                "+Inf".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{kind=\"{kind}\",le=\"{le}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(out, "{name}_sum{{kind=\"{kind}\"}} {}", snap.sum);
+        let _ = writeln!(out, "{name}_count{{kind=\"{kind}\"}} {}", snap.count);
+    }
+}
+
+/// Render the full exposition payload.
+#[allow(clippy::too_many_arguments)]
+pub fn render(
+    stats: &Stats,
+    cache: &ResultCache,
+    queue_len: usize,
+    queue_capacity: usize,
+    jobs_tracked: usize,
+    workers: usize,
+    draining: bool,
+) -> String {
+    let mut out = String::with_capacity(4096);
+
+    counter(
+        &mut out,
+        "pasm_jobs_submitted_total",
+        "Jobs accepted by POST /submit (cache hits included).",
+        stats.submitted.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "pasm_jobs_completed_total",
+        "Jobs that reached the done state.",
+        stats.completed.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "pasm_jobs_failed_total",
+        "Jobs that failed in simulation.",
+        stats.failed.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "pasm_jobs_canceled_total",
+        "Jobs canceled while queued.",
+        stats.canceled.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "pasm_jobs_expired_total",
+        "Jobs whose deadline passed before a worker picked them up.",
+        stats.expired.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "pasm_jobs_rejected_queue_full_total",
+        "Submissions pushed back with 429 queue_full.",
+        stats.rejected_queue_full.load(Ordering::Relaxed),
+    );
+
+    gauge(
+        &mut out,
+        "pasm_queue_depth",
+        "Jobs currently waiting in the admission queue.",
+        queue_len as u64,
+    );
+    gauge(
+        &mut out,
+        "pasm_queue_capacity",
+        "Bounded admission queue capacity.",
+        queue_capacity as u64,
+    );
+    gauge(
+        &mut out,
+        "pasm_jobs_tracked",
+        "Jobs in the job table (all states).",
+        jobs_tracked as u64,
+    );
+    gauge(
+        &mut out,
+        "pasm_workers",
+        "Simulation worker threads.",
+        workers as u64,
+    );
+    gauge(
+        &mut out,
+        "pasm_draining",
+        "1 while the server is shutting down.",
+        draining as u64,
+    );
+
+    counter(
+        &mut out,
+        "pasm_cache_hits_total",
+        "Result-cache hits.",
+        cache.hits(),
+    );
+    counter(
+        &mut out,
+        "pasm_cache_misses_total",
+        "Result-cache misses.",
+        cache.misses(),
+    );
+    gauge(
+        &mut out,
+        "pasm_cache_entries",
+        "Result-cache entries resident.",
+        cache.entries() as u64,
+    );
+
+    counter(
+        &mut out,
+        "pasm_sim_cycles_total",
+        "Simulated cycles summed over completed jobs (cache hits included).",
+        stats.total_cycles.load(Ordering::Relaxed),
+    );
+
+    let (cold, hit) = stats.latency_snapshots();
+    histogram(
+        &mut out,
+        "pasm_job_wall_ms",
+        "Job wall-clock latency in milliseconds, split by cache outcome.",
+        &[("cold", cold), ("hit", hit)],
+    );
+
+    header(
+        &mut out,
+        "pasm_sim_cycle_bucket_total",
+        "Per-PE simulation cycles by cause, aggregated over cold runs.",
+        "counter",
+    );
+    for (name, value) in BUCKET_NAMES.iter().zip(stats.sim_bucket_totals().iter()) {
+        let _ = writeln!(
+            out,
+            "pasm_sim_cycle_bucket_total{{bucket=\"{name}\"}} {value}"
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_is_well_formed() {
+        let stats = Stats::new(None).unwrap();
+        let cache = ResultCache::new(16);
+        let text = render(&stats, &cache, 3, 64, 7, 4, false);
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# HELP ")
+                    || line.starts_with("# TYPE ")
+                    || line
+                        .split_once(' ')
+                        .is_some_and(|(name, v)| !name.is_empty() && v.parse::<f64>().is_ok()),
+                "malformed exposition line: {line:?}"
+            );
+        }
+        assert!(text.contains("pasm_queue_depth 3"));
+        assert!(text.contains("pasm_queue_capacity 64"));
+        assert!(text.contains("pasm_sim_cycle_bucket_total{bucket=\"barrier_wait\"} 0"));
+        assert!(text.contains("pasm_job_wall_ms_bucket{kind=\"cold\",le=\"+Inf\"} 0"));
+        assert!(text.ends_with('\n'));
+    }
+}

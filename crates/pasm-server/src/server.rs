@@ -9,7 +9,8 @@
 //! so every admitted job reaches a terminal state before the server returns.
 
 use crate::cache::ResultCache;
-use crate::http::{read_request, write_json, Request};
+use crate::http::{read_request, write_json, write_text, Request};
+use crate::metrics;
 use crate::protocol::{error_body, BadRequest, JobSpec, JobStatus};
 use crate::queue::JobQueue;
 use crate::stats::Stats;
@@ -283,10 +284,35 @@ fn finish(
 fn handle_connection(state: &AppState, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let response = match read_request(&mut stream) {
-        Ok(req) => route(state, &req),
+        Ok(req) => {
+            // `/metrics` is the one non-JSON endpoint: Prometheus text.
+            if req.method == "GET" && req.path == "/metrics" {
+                let _ = write_text(
+                    &mut stream,
+                    200,
+                    metrics::CONTENT_TYPE,
+                    &render_metrics(state),
+                );
+                return;
+            }
+            route(state, &req)
+        }
         Err(e) => (400, error_body("bad_request", &e.to_string())),
     };
     let _ = write_json(&mut stream, response.0, &response.1);
+}
+
+fn render_metrics(state: &AppState) -> String {
+    let jobs_tracked = state.jobs.lock().unwrap_or_else(|e| e.into_inner()).len();
+    metrics::render(
+        &state.stats,
+        &state.cache,
+        state.queue.len(),
+        state.queue.capacity(),
+        jobs_tracked,
+        state.workers,
+        state.draining.load(Ordering::SeqCst),
+    )
 }
 
 fn route(state: &AppState, req: &Request) -> (u16, Json) {
@@ -304,7 +330,7 @@ fn route(state: &AppState, req: &Request) -> (u16, Json) {
         ("POST", _) if path.starts_with("/cancel/") => {
             with_job_id(path, "/cancel/", |id| cancel(state, id))
         }
-        ("POST" | "GET", "/submit" | "/healthz" | "/stats") => (
+        ("POST" | "GET", "/submit" | "/healthz" | "/stats" | "/metrics") => (
             405,
             error_body("method_not_allowed", "wrong method for this endpoint"),
         ),
@@ -522,6 +548,14 @@ fn healthz(state: &AppState) -> (u16, Json) {
 
 fn stats(state: &AppState) -> (u16, Json) {
     let s = &state.stats;
+    let (cold, hit) = s.latency_snapshots();
+    let latency = |snap: &crate::stats::HistSnapshot| {
+        Json::obj(vec![
+            ("count", Json::Int(snap.count as i64)),
+            ("total_ms", Json::Int(snap.sum as i64)),
+            ("mean_ms", Json::Float(snap.mean_ms())),
+        ])
+    };
     (
         200,
         Json::obj(vec![
@@ -553,6 +587,20 @@ fn stats(state: &AppState) -> (u16, Json) {
             (
                 "total_wall_ms",
                 Json::Int(s.total_wall_ms.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "latency",
+                Json::obj(vec![("cold", latency(&cold)), ("hit", latency(&hit))]),
+            ),
+            (
+                "sim_cycle_buckets",
+                Json::obj(
+                    pasm_machine::BUCKET_NAMES
+                        .iter()
+                        .zip(s.sim_bucket_totals().iter())
+                        .map(|(name, v)| (*name, Json::Int(*v as i64)))
+                        .collect(),
+                ),
             ),
             (
                 "cache",

@@ -7,15 +7,19 @@
 //!
 //! * [`rng`] — a seeded [SplitMix64](rng::Rng) generator for workload data,
 //! * [`json`] — a small JSON value model with parser, writer and the
-//!   [`ToJson`](json::ToJson) trait the bench and server crates serialize
+//!   [`ToJson`] trait the bench and server crates serialize
 //!   through,
 //! * [`hash`] — [FNV-1a](hash::Fnv1a), a stable `std::hash::Hasher` whose
-//!   output does not change across processes (used for cache keys).
+//!   output does not change across processes (used for cache keys),
+//! * [`span`] — named trace spans on simulated timelines with JSONL
+//!   serialization (the observability layer's event format).
 
 pub mod hash;
 pub mod json;
 pub mod rng;
+pub mod span;
 
 pub use hash::{fnv1a, Fnv1a};
 pub use json::{Json, ToJson};
 pub use rng::Rng;
+pub use span::{SpanEvent, SpanLog};

@@ -4,20 +4,24 @@
 //! timing model:
 //!
 //! ```sh
-//! cargo run -p pasm --bin pasm-run -- program.s [--listing] [--stats] [--max-cycles N]
+//! cargo run -p pasm --bin pasm-run -- program.s [--listing] [--stats] [--max-cycles N] [--trace out.jsonl]
 //! ```
 //!
 //! The program runs in MIMD mode on PE 0 of a small machine (so DRAM wait
 //! states and refresh apply, as they would on the prototype). On `HALT` the
 //! tool prints the register file, the condition codes, and the cycle count;
-//! `--stats` adds the static timing analysis of `pasm_isa::analysis`.
+//! `--stats` adds the static timing analysis of `pasm_isa::analysis`;
+//! `--trace` writes the program's `MARK`-delimited phase spans as JSONL trace
+//! events (see `docs/OBSERVABILITY.md` for the schema).
 
 use pasm_isa::analysis;
 use pasm_machine::{Machine, MachineConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: pasm-run <file.s> [--listing] [--stats] [--max-cycles N]");
+    eprintln!(
+        "usage: pasm-run <file.s> [--listing] [--stats] [--max-cycles N] [--trace out.jsonl]"
+    );
     ExitCode::from(2)
 }
 
@@ -25,12 +29,17 @@ fn main() -> ExitCode {
     let mut file = None;
     let mut listing = false;
     let mut stats = false;
+    let mut trace = None;
     let mut max_cycles = 100_000_000u64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--listing" => listing = true,
             "--stats" => stats = true,
+            "--trace" => match args.next() {
+                Some(p) => trace = Some(p),
+                None => return usage(),
+            },
             "--max-cycles" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => max_cycles = v,
                 None => return usage(),
@@ -105,6 +114,14 @@ fn main() -> ExitCode {
                 t.mul_cycles,
                 t.fetch_wait_cycles + t.data_wait_cycles,
             );
+            if let Some(path) = trace {
+                let log = pasm::run_span_log(&run);
+                if let Err(e) = std::fs::write(&path, log.to_jsonl()) {
+                    eprintln!("pasm-run: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("trace: {} span(s) written to {path}", log.len());
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -1,11 +1,11 @@
 //! End-to-end experiment execution: build a machine, load a matmul variant,
 //! run it, and collect both the numeric result and the timing traces.
 
-use pasm_machine::{Machine, MachineConfig, RunError, RunResult};
+use pasm_machine::{Machine, MachineConfig, RunError, RunResult, BUCKET_NAMES, N_BUCKETS};
 use pasm_prog::matmul::{self, mimd, select_vm, serial, simd, CommSync, MatmulParams};
 use pasm_prog::{Layout, Matrix};
 use pasm_util::json::{Json, ToJson};
-use pasm_util::Fnv1a;
+use pasm_util::{Fnv1a, SpanLog};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
@@ -87,6 +87,44 @@ impl MatmulOutcome {
     pub fn millis(&self) -> f64 {
         pasm_isa::cycles_to_ms(self.cycles)
     }
+
+    /// The run's phase spans as a named [`SpanLog`] (`pe<i>` / `mc<i>`
+    /// sources, phase names from [`pasm_prog::codegen::phase_name`]), ready
+    /// for JSONL emission. Empty when accounting was disabled.
+    pub fn span_log(&self) -> SpanLog {
+        run_span_log(&self.run)
+    }
+}
+
+/// Convert a run's recorded phase spans into a named [`SpanLog`]: sources are
+/// `pe<i>` / `mc<i>`, names come from [`pasm_prog::codegen::phase_name`].
+/// Empty when the machine ran with accounting disabled.
+pub fn run_span_log(run: &RunResult) -> SpanLog {
+    let mut log = SpanLog::new();
+    let Some(accounts) = &run.accounts else {
+        return log;
+    };
+    for (i, acc) in accounts.pe.iter().enumerate() {
+        for s in &acc.spans {
+            log.record(
+                &format!("pe{i}"),
+                pasm_prog::codegen::phase_name(s.phase),
+                s.start,
+                s.end,
+            );
+        }
+    }
+    for (i, acc) in accounts.mc.iter().enumerate() {
+        for s in &acc.spans {
+            log.record(
+                &format!("mc{i}"),
+                pasm_prog::codegen::phase_name(s.phase),
+                s.start,
+                s.end,
+            );
+        }
+    }
+    log
 }
 
 /// Load one matmul job onto a machine's virtual machine: data layout, network
@@ -143,7 +181,9 @@ fn load_job(
 }
 
 /// Run one matrix multiplication. `a` and `b` are the operand matrices
-/// (`n × n`, matching `params.n`).
+/// (`n × n`, matching `params.n`). Cycle accounting is on (it is effectively
+/// free — see `benches/accounting.rs`); use [`run_matmul_with_accounting`]
+/// to turn it off.
 pub fn run_matmul(
     cfg: &MachineConfig,
     mode: Mode,
@@ -151,9 +191,25 @@ pub fn run_matmul(
     a: &Matrix,
     b: &Matrix,
 ) -> Result<MatmulOutcome, RunError> {
+    run_matmul_with_accounting(cfg, mode, params, a, b, true)
+}
+
+/// [`run_matmul`] with an explicit cycle-accounting toggle. Disabling
+/// accounting never changes simulated timing — the buckets observe the
+/// scheduler, they are not an input to it (asserted by the integration
+/// tests) — it only drops the per-PE breakdowns from the outcome.
+pub fn run_matmul_with_accounting(
+    cfg: &MachineConfig,
+    mode: Mode,
+    params: MatmulParams,
+    a: &Matrix,
+    b: &Matrix,
+    accounting: bool,
+) -> Result<MatmulOutcome, RunError> {
     assert_eq!(a.n, params.n);
     assert_eq!(b.n, params.n);
     let mut machine = Machine::new(cfg.clone());
+    machine.set_accounting(accounting);
     let vm = select_vm(cfg, if mode == Mode::Serial { 1 } else { params.p });
     let layout = load_job(&mut machine, mode, params, &vm, a, b);
     let run = machine.run()?;
@@ -298,6 +354,9 @@ pub struct ExperimentResult {
     pub communication_cycles: u64,
     /// Instructions executed across all PEs.
     pub pe_instrs: u64,
+    /// Cycle buckets summed over all PEs, indexed like
+    /// [`pasm_machine::BUCKET_NAMES`] (all zero if accounting was disabled).
+    pub pe_buckets: [u64; N_BUCKETS],
     /// FNV-1a fingerprint of the product matrix (row-major words).
     pub c_checksum: u64,
 }
@@ -315,6 +374,16 @@ impl ToJson for ExperimentResult {
             ("multiply_cycles", self.multiply_cycles.to_json()),
             ("communication_cycles", self.communication_cycles.to_json()),
             ("pe_instrs", self.pe_instrs.to_json()),
+            (
+                "cycle_buckets",
+                Json::obj(
+                    BUCKET_NAMES
+                        .iter()
+                        .zip(self.pe_buckets.iter())
+                        .map(|(name, v)| (*name, v.to_json()))
+                        .collect(),
+                ),
+            ),
             // Full-range u64: as hex text, since JSON numbers are i64/f64.
             ("c_checksum", Json::Str(format!("{:016x}", self.c_checksum))),
         ])
@@ -342,6 +411,12 @@ impl ExperimentResult {
             multiply_cycles: out.run.phase_max(PHASE_MUL as usize),
             communication_cycles: out.run.phase_max(PHASE_COMM as usize),
             pe_instrs: out.run.pe.iter().map(|t| t.instrs).sum(),
+            pe_buckets: out
+                .run
+                .accounts
+                .as_ref()
+                .map(|a| a.pe_bucket_totals())
+                .unwrap_or([0; N_BUCKETS]),
             c_checksum: h.finish(),
         }
     }

@@ -31,8 +31,9 @@ pub mod report;
 pub mod sweep;
 
 pub use experiment::{
-    paper_workload, run_concurrent, run_keyed, run_matmul, run_matmul_verified, run_reduction,
-    ExperimentKey, ExperimentResult, Job, JobOutcome, MatmulOutcome, Mode, Params, ReduceOutcome,
+    paper_workload, run_concurrent, run_keyed, run_matmul, run_matmul_verified,
+    run_matmul_with_accounting, run_reduction, run_span_log, ExperimentKey, ExperimentResult, Job,
+    JobOutcome, MatmulOutcome, Mode, Params, ReduceOutcome,
 };
 pub use metrics::{efficiency, speedup, Breakdown};
 pub use pasm_machine::{Machine, MachineConfig, ReleaseMode, RunResult};

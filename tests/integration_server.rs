@@ -9,7 +9,13 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 /// Minimal HTTP/1.1 client: one request per connection, like the server.
-fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
+/// Returns status, headers, and the raw body (`/metrics` is not JSON).
+fn request_raw(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
@@ -28,8 +34,14 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("malformed status line: {raw:?}"));
-    let payload = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
-    let parsed = json::parse(payload).unwrap_or_else(|e| panic!("bad JSON body {payload:?}: {e}"));
+    let (head, payload) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    (status, head.to_string(), payload.to_string())
+}
+
+/// JSON-body variant of [`request_raw`] (every endpoint except `/metrics`).
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
+    let (status, _, payload) = request_raw(addr, method, path, body);
+    let parsed = json::parse(&payload).unwrap_or_else(|e| panic!("bad JSON body {payload:?}: {e}"));
     (status, parsed)
 }
 
@@ -267,6 +279,94 @@ fn shutdown_drains_admitted_jobs() {
     );
     // The listener is gone: new connections are refused.
     assert!(TcpStream::connect(addr).is_err(), "accept loop exited");
+}
+
+#[test]
+fn metrics_serve_valid_exposition_text_under_load() {
+    let mut server = start(2, 64);
+    let addr = server.addr();
+
+    // Load: distinct jobs plus a repeated one so both the cold and the hit
+    // latency histograms have observations; probe /metrics while jobs are
+    // still in flight to check it serves concurrently with simulation.
+    let mut ids = Vec::new();
+    for seed in 0..8 {
+        let body = format!(r#"{{"mode":"simd","n":16,"p":4,"seed":{seed}}}"#);
+        let (code, resp) = submit(addr, &body);
+        assert!(code == 202 || code == 200);
+        ids.push(job_id(&resp));
+        let (code, _, _) = request_raw(addr, "GET", "/metrics", None);
+        assert_eq!(code, 200, "/metrics during load");
+    }
+    for &id in &ids {
+        assert_eq!(status_str(&await_terminal(addr, id)), "done");
+    }
+    let (code, repeat) = submit(addr, r#"{"mode":"simd","n":16,"p":4,"seed":0}"#);
+    assert_eq!(code, 200, "repeat is a cache hit: {repeat:?}");
+
+    let (code, head, text) = request_raw(addr, "GET", "/metrics", None);
+    assert_eq!(code, 200);
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "exposition content type: {head:?}"
+    );
+
+    // Every line is a HELP/TYPE comment or `name[{labels}] value` with a
+    // numeric value — the Prometheus text exposition grammar.
+    assert!(!text.is_empty() && text.ends_with('\n'));
+    for line in text.lines() {
+        if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("malformed sample line: {line:?}"));
+        assert!(!name.is_empty(), "empty metric name: {line:?}");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample value: {line:?}"
+        );
+    }
+
+    let sample = |name: &str| -> f64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("metric {name} not exposed"))
+            .parse()
+            .expect("numeric sample")
+    };
+    assert_eq!(sample("pasm_jobs_completed_total"), 9.0);
+    assert_eq!(sample("pasm_jobs_failed_total"), 0.0);
+    assert!(sample("pasm_cache_hits_total") >= 1.0);
+    assert!(sample("pasm_sim_cycles_total") > 0.0);
+    assert_eq!(sample("pasm_workers"), 2.0);
+
+    // Histograms split by cache outcome: 8 cold runs, at least one hit.
+    assert_eq!(sample(r#"pasm_job_wall_ms_count{kind="cold"}"#), 8.0);
+    assert!(sample(r#"pasm_job_wall_ms_count{kind="hit"}"#) >= 1.0);
+
+    // The aggregated simulation buckets carry the SIMD signature: compute
+    // and barrier_wait cycles both nonzero.
+    assert!(sample(r#"pasm_sim_cycle_bucket_total{bucket="compute"}"#) > 0.0);
+    assert!(sample(r#"pasm_sim_cycle_bucket_total{bucket="barrier_wait"}"#) > 0.0);
+
+    // /stats mirrors the split accounting (satellite: cold vs hit latency).
+    let (_, stats) = get(addr, "/stats");
+    let latency = stats.get("latency").expect("latency block");
+    let cold = latency.get("cold").unwrap();
+    let hit = latency.get("hit").unwrap();
+    assert_eq!(cold.get("count").and_then(Json::as_u64), Some(8));
+    assert!(hit.get("count").and_then(Json::as_u64).unwrap() >= 1);
+    // A recent JSONL line separates cold from hit wall time.
+    let recent = stats.get("recent").and_then(Json::as_arr).unwrap();
+    let line = json::parse(recent.last().unwrap().as_str().unwrap()).unwrap();
+    assert!(
+        line.get("cold_wall_ms").is_some() && line.get("hit_wall_ms").is_some(),
+        "JSONL line carries the cold/hit split: {line:?}"
+    );
+
+    server.shutdown();
 }
 
 #[test]
