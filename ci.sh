@@ -22,4 +22,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 echo "==> breakdown smoke-run (n=4 cycle-accounting signatures)"
 cargo run --release -q -p bench --bin breakdown -- --quick >/dev/null
 
+echo "==> faultsweep smoke-run (4-PE single-fault theorem, all 14 faults)"
+cargo run --release -q -p bench --bin faultsweep -- --quick >/dev/null
+
+echo "==> worker panic quarantine + cancel-while-running integration test"
+cargo test -q -p pasm-server --test integration_server_faults
+
 echo "==> ci.sh: all green"

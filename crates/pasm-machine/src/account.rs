@@ -4,7 +4,7 @@
 //! attributed to instruction fetch, data-dependent multiplies, lockstep
 //! barrier waits, and network transfers across SIMD/MIMD/S-MIMD — so the
 //! simulator keeps a [`CycleAccount`] per PE and per MC that buckets every
-//! cycle of the component's lifetime into one of six [`Bucket`]s, plus a
+//! cycle of the component's lifetime into one of seven [`Bucket`]s, plus a
 //! per-opcode histogram and timestamped phase spans.
 //!
 //! The invariant that makes the accounting auditable (and that the
@@ -26,7 +26,7 @@ use crate::trace::N_PHASES;
 use pasm_isa::Instr;
 
 /// Number of cycle buckets.
-pub const N_BUCKETS: usize = 6;
+pub const N_BUCKETS: usize = 7;
 
 /// Where a simulated cycle went.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +46,10 @@ pub enum Bucket {
     Network = 4,
     /// Operand (data) memory wait states, including DRAM refresh.
     MemoryWait = 5,
+    /// Cycles caused by injected faults: the per-word extra-stage detour of a
+    /// degraded ESC (both cube₀ stages in the data path) and the extra wait
+    /// states of a slow-PE fault model. Zero on a healthy machine.
+    FaultDetour = 6,
 }
 
 /// Stable exposition names of the buckets, indexable by `Bucket as usize`.
@@ -56,6 +60,7 @@ pub const BUCKET_NAMES: [&str; N_BUCKETS] = [
     "barrier_wait",
     "network",
     "memory_wait",
+    "fault_detour",
 ];
 
 impl Bucket {
@@ -67,6 +72,7 @@ impl Bucket {
         Bucket::BarrierWait,
         Bucket::Network,
         Bucket::MemoryWait,
+        Bucket::FaultDetour,
     ];
 
     /// The bucket's stable snake_case name (used in JSON and `/metrics`).

@@ -47,6 +47,11 @@ pub struct MachineConfig {
     pub net_setup_cycles: u64,
     /// Latency of one 8-bit word through an established circuit.
     pub net_word_cycles: u64,
+    /// Additional per-word cycles for each network stage a circuit traverses
+    /// beyond the fault-free minimum of m. Only degraded configurations (both
+    /// cube₀ stages in the data path) have longer circuits, so this is the
+    /// unit cost the `fault_detour` bucket is charged in.
+    pub net_stage_cycles: u64,
     /// Release rule (see [`ReleaseMode`]).
     pub release_mode: ReleaseMode,
     /// Hard stop for the scheduler (guards against runaway programs).
@@ -69,6 +74,7 @@ impl MachineConfig {
             simd_release_cycles: 0,
             net_setup_cycles: 120,
             net_word_cycles: 4,
+            net_stage_cycles: 2,
             release_mode: ReleaseMode::Lockstep,
             max_cycles: u64::MAX,
         }

@@ -30,6 +30,7 @@
 pub mod account;
 pub mod config;
 pub mod cpu;
+pub mod fault;
 pub mod fetch_unit;
 pub mod machine;
 pub mod trace;
@@ -37,6 +38,8 @@ pub mod trace;
 pub use account::{Bucket, CycleAccount, MachineAccounts, PhaseSpan, BUCKET_NAMES, N_BUCKETS};
 pub use config::{MachineConfig, ReleaseMode};
 pub use cpu::{Cpu, Effect, StepOutcome};
+pub use fault::{FaultPlan, PeFault, PeFaultSpec};
 pub use fetch_unit::FuStats;
 pub use machine::{drr_ea, dtr_ea, status_ea, Machine, PeMode, RunError, RunResult};
+pub use pasm_net::{single_faults, NetFault};
 pub use trace::{McTrace, PeTrace, N_PHASES};

@@ -12,12 +12,15 @@
 use crate::account::{variance_cycles, Bucket, MachineAccounts};
 use crate::config::{MachineConfig, ReleaseMode};
 use crate::cpu::{exec, Block, Bus, Cpu, Effect, McEffect, MemBus, StepOutcome};
+use crate::fault::{FaultPlan, PeFault};
 use crate::fetch_unit::{EntryKind, FetchUnit, FuStats, QueueEntry};
 use crate::trace::{McTrace, PeTrace};
 use pasm_isa::{Instr, Program, Size};
 use pasm_mem::map::{self, MemMap, NetReg, Region};
 use pasm_mem::Memory;
-use pasm_net::{ring_circuits, EscNetwork, NetError};
+use pasm_net::{ring_circuits, CircuitId, EscNetwork, NetError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Execution mode of a PE.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +72,9 @@ struct NetState {
     dest: Vec<Option<usize>>,
     /// In-flight / parked byte per destination PE.
     rx: Vec<Option<RxByte>>,
+    /// Per-sender extra cycles each transmitted word pays for network stages
+    /// beyond the fault-free minimum (nonzero only on degraded networks).
+    detour: Vec<u64>,
 }
 
 struct Pe {
@@ -148,6 +154,13 @@ pub enum RunError {
     Deadlock(String),
     /// The configured cycle budget was exceeded.
     CycleLimit(u64),
+    /// An external party tripped the interrupt flag (see
+    /// [`Machine::set_interrupt`]) — job cancellation, watchdog deadline.
+    Interrupted,
+    /// The network could not establish the circuits a job needs — e.g. a
+    /// full-machine ring under an interior-box fault, which the ESC cannot
+    /// route in one pass. Carries the underlying [`pasm_net::NetError`] text.
+    Net(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -155,6 +168,8 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Deadlock(s) => write!(f, "deadlock: {s}"),
             RunError::CycleLimit(c) => write!(f, "cycle limit {c} exceeded"),
+            RunError::Interrupted => write!(f, "interrupted"),
+            RunError::Net(s) => write!(f, "network: {s}"),
         }
     }
 }
@@ -173,6 +188,10 @@ pub struct Machine {
     /// part of [`MachineConfig`] (which is hashed into cache keys): the toggle
     /// only changes what is recorded, never the simulated timing.
     acct: Option<MachineAccounts>,
+    /// Injected per-PE fault models.
+    pe_faults: Vec<Option<PeFault>>,
+    /// Cooperative cancellation: checked periodically by [`Machine::run`].
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 enum Component {
@@ -214,9 +233,11 @@ impl Machine {
         let net = NetState {
             dest: vec![None; cfg.n_pes],
             rx: vec![None; cfg.n_pes],
+            detour: vec![0; cfg.n_pes],
         };
         let esc = EscNetwork::new(cfg.n_pes.max(2));
         let acct = Some(MachineAccounts::new(cfg.n_pes, cfg.n_mcs));
+        let pe_faults = vec![None; cfg.n_pes];
         Machine {
             cfg,
             pes,
@@ -225,6 +246,8 @@ impl Machine {
             net,
             esc,
             acct,
+            pe_faults,
+            interrupt: None,
         }
     }
 
@@ -306,27 +329,70 @@ impl Machine {
         &mut self.esc
     }
 
+    /// Inject a fault plan: network faults go to the ESC (which reconfigures
+    /// its bypass stages for them), PE faults are latched per PE. Must be
+    /// called before circuits are established and PEs are started.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), String> {
+        plan.validate(self.cfg.n_pes)?;
+        self.esc.apply_faults(&plan.net);
+        for spec in &plan.pe {
+            self.pe_faults[spec.pe] = Some(spec.kind);
+        }
+        Ok(())
+    }
+
+    /// The injected fault model of a PE, if any.
+    pub fn pe_fault(&self, pe: usize) -> Option<PeFault> {
+        self.pe_faults[pe]
+    }
+
+    /// Install a cooperative cancellation flag: [`Machine::run`] checks it
+    /// periodically and returns [`RunError::Interrupted`] once it is set.
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    fn is_dead(&self, pe: usize) -> bool {
+        matches!(self.pe_faults[pe], Some(PeFault::Dead))
+    }
+
+    /// Per-word cycles a circuit pays for stages beyond the fault-free
+    /// minimum of m. Zero unless the network runs degraded with both cube₀
+    /// stages in the data path (m + 1 hops).
+    fn detour_cycles_for(&self, id: CircuitId) -> u64 {
+        let hops = self.esc.circuit(id).map(|p| p.hops.len()).unwrap_or(0) as u64;
+        let m = self.esc.size().trailing_zeros() as u64;
+        hops.saturating_sub(m) * self.cfg.net_stage_cycles
+    }
+
     /// Establish one circuit `src → dst` (consuming boxes in the ESC network).
     pub fn connect(&mut self, src: usize, dst: usize) -> Result<(), NetError> {
-        self.esc.establish(src, dst)?;
+        let id = self.esc.establish(src, dst)?;
         self.net.dest[src] = Some(dst);
+        self.net.detour[src] = self.detour_cycles_for(id);
         Ok(())
     }
 
     /// Establish the matmul ring over the listed physical PEs:
     /// `pes[k] → pes[(k + len − 1) % len]`.
     pub fn connect_ring(&mut self, pes: &[usize]) -> Result<(), NetError> {
-        ring_circuits(&mut self.esc, pes)?;
+        let ids = ring_circuits(&mut self.esc, pes)?;
         let p = pes.len();
         for (k, &src) in pes.iter().enumerate() {
             self.net.dest[src] = Some(pes[(k + p - 1) % p]);
+            self.net.detour[src] = self.detour_cycles_for(ids[k]);
         }
         Ok(())
     }
 
     /// Start a PE directly (tests / serial runs without MC orchestration).
+    /// A dead PE silently refuses to start — exactly like real hardware that
+    /// never answers.
     pub fn start_pe(&mut self, pe: usize, at: u64) {
         assert!(!self.pes[pe].program.is_empty(), "PE {pe} has no program");
+        if self.is_dead(pe) {
+            return;
+        }
         if self.pes[pe].state == PeState::Idle {
             if let Some(a) = self.acct.as_mut() {
                 a.pe[pe].started_at = at;
@@ -367,7 +433,16 @@ impl Machine {
 
     /// Run until everything halts (or idles). Returns the collected result.
     pub fn run(&mut self) -> Result<RunResult, RunError> {
+        let mut steps: u32 = 0;
         loop {
+            steps = steps.wrapping_add(1);
+            if steps & 0x3FF == 0 {
+                if let Some(flag) = &self.interrupt {
+                    if flag.load(Ordering::Relaxed) {
+                        return Err(RunError::Interrupted);
+                    }
+                }
+            }
             match self.next_runnable() {
                 Some((_, t)) if t > self.cfg.max_cycles => {
                     return Err(RunError::CycleLimit(self.cfg.max_cycles));
@@ -446,9 +521,12 @@ impl Machine {
         // Execute against the PE bus.
         let outcome;
         let extra_cycles;
+        let detour_cycles;
         let wrote_net_to;
         let consumed_rx;
         {
+            let detour_per_word = self.net.detour[i];
+            let stuck_tx = matches!(self.pe_faults[i], Some(PeFault::StuckTx));
             let pe = &mut self.pes[i];
             let mut bus = PeBus {
                 mem: &mut pe.mem,
@@ -456,12 +534,16 @@ impl Machine {
                 pe: i,
                 now,
                 net_word_cycles: self.cfg.net_word_cycles,
+                detour_per_word,
+                stuck_tx,
                 extra_cycles: 0,
+                detour_cycles: 0,
                 wrote_net_to: None,
                 consumed_rx: false,
             };
             outcome = exec(&mut pe.cpu, &mut bus, &instr);
             extra_cycles = bus.extra_cycles;
+            detour_cycles = bus.detour_cycles;
             wrote_net_to = bus.wrote_net_to;
             consumed_rx = bus.consumed_rx;
         }
@@ -490,7 +572,13 @@ impl Machine {
             .cfg
             .pe_dram
             .burst_delay(now + fetch_wait, r.data_accesses);
-        let duration = r.cycles as u64 + fetch_wait + data_wait + extra_cycles;
+        // Slow-PE fault model: every operand access pays extra wait states.
+        let slow_wait = match self.pe_faults[i] {
+            Some(PeFault::Slow { extra_wait }) => extra_wait * r.data_accesses as u64,
+            _ => 0,
+        };
+        let fault_cycles = detour_cycles + slow_wait;
+        let duration = r.cycles as u64 + fetch_wait + data_wait + extra_cycles + fault_cycles;
         let new_now = now + duration;
 
         {
@@ -517,6 +605,7 @@ impl Machine {
             acc.charge(Bucket::Fetch, fetch_wait);
             acc.charge(Bucket::MemoryWait, data_wait);
             acc.charge(Bucket::Network, extra_cycles);
+            acc.charge(Bucket::FaultDetour, fault_cycles);
             acc.record_instr(&instr, duration);
         }
 
@@ -620,10 +709,12 @@ impl Machine {
             let Some(&head) = self.fus[mc].queue.front() else {
                 return;
             };
+            // Dead PEs never request, so they are masked out of the release
+            // decision — a SIMD broadcast to the survivors must still release.
             let enabled: Vec<usize> = group
                 .iter()
                 .copied()
-                .filter(|&pe| head.mask & (1 << self.group_bit(pe)) != 0)
+                .filter(|&pe| head.mask & (1 << self.group_bit(pe)) != 0 && !self.is_dead(pe))
                 .collect();
             if enabled.is_empty() {
                 // Nobody is enabled: the entry drains with no effect.
@@ -724,8 +815,11 @@ impl Machine {
         }
         // Retire fully consumed heads.
         loop {
+            // Dead PEs can never consume their bit; exclude them so heads
+            // still retire (mirrors the lockstep rule's dead masking).
             let group_mask: u16 = group
                 .iter()
+                .filter(|&&pe| !self.is_dead(pe))
                 .map(|&pe| 1u16 << self.group_bit(pe))
                 .fold(0, |a, b| a | b);
             let Some(&head) = self.fus[mc].queue.front() else {
@@ -820,6 +914,9 @@ impl Machine {
                 }
                 McEffect::StartPes => {
                     for pe in self.group_pes(i) {
+                        if self.is_dead(pe) {
+                            continue;
+                        }
                         if self.pes[pe].state == PeState::Idle && !self.pes[pe].program.is_empty() {
                             self.pes[pe].state = PeState::Ready;
                             self.pes[pe].ready_at = new_now;
@@ -867,8 +964,15 @@ struct PeBus<'a> {
     pe: usize,
     now: u64,
     net_word_cycles: u64,
+    /// Per-word degraded-routing surcharge of this PE's circuit (see
+    /// `NetState::detour`); paid by the sender on each transmit.
+    detour_per_word: u64,
+    /// Stuck-tx fault model: the transmit port never accepts a word.
+    stuck_tx: bool,
     /// Extra cycles discovered during execution (waiting out a byte in flight).
     extra_cycles: u64,
+    /// Cycles attributable to injected faults (degraded-routing detours).
+    detour_cycles: u64,
     /// Destination PE of a completed transmit, if any.
     wrote_net_to: Option<usize>,
     /// The receive register was consumed.
@@ -896,7 +1000,7 @@ impl Bus for PeBus<'_> {
             },
             Region::Net(NetReg::Status) => {
                 let tx_ready = match self.net.dest[self.pe] {
-                    Some(d) => self.net.rx[d].is_none(),
+                    Some(d) => !self.stuck_tx && self.net.rx[d].is_none(),
                     None => false,
                 };
                 let rx_valid = self.net.rx[self.pe].is_some_and(|b| b.valid_at <= self.now);
@@ -913,15 +1017,22 @@ impl Bus for PeBus<'_> {
                 Ok(())
             }
             Region::Net(NetReg::Dtr) => {
+                if self.stuck_tx {
+                    return Err(Block::NetTxFull);
+                }
                 let dest = self.net.dest[self.pe].unwrap_or_else(|| {
                     panic!("PE {}: network send with no circuit established", self.pe)
                 });
                 if self.net.rx[dest].is_some() {
                     return Err(Block::NetTxFull);
                 }
+                // A degraded circuit (extra stage in the data path) holds the
+                // sender for the additional stage traversal and delivers the
+                // word correspondingly later.
+                self.detour_cycles += self.detour_per_word;
                 self.net.rx[dest] = Some(RxByte {
                     value: value as u8,
-                    valid_at: self.now + self.net_word_cycles,
+                    valid_at: self.now + self.net_word_cycles + self.detour_per_word,
                 });
                 self.wrote_net_to = Some(dest);
                 Ok(())

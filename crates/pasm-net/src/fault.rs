@@ -1,0 +1,207 @@
+//! Fault taxonomy of the ESC network: which hardware elements can fail, and
+//! which single faults the extra stage tolerates.
+//!
+//! The ESC's fault model (Adams & Siegel) covers two element classes:
+//!
+//! * **interchange boxes** — any box in any of the m + 1 stages;
+//! * **inter-stage links** — the line bundles *between* stages. The links
+//!   connecting PEs to the network input and the network output to PEs are
+//!   excluded: they are single points attached to exactly one PE, so no
+//!   multistage network can route around them.
+//!
+//! With both cube₀ stages enabled the two candidate paths of every
+//! source/destination pair differ in address bit 0 at every interior
+//! boundary and use disjoint interior boxes, so any *single* fault in the
+//! tolerable set leaves at least one path intact (`docs/FAULTS.md` walks
+//! through the argument; `bench --bin faultsweep` asserts it empirically).
+
+use std::fmt;
+
+/// One faulty hardware element of the ESC network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetFault {
+    /// A 2×2 interchange box. `stage` is the stage position from the input
+    /// side (0 = the extra stage, m = the output stage).
+    Box { stage: u32, box_idx: usize },
+    /// An inter-stage link. `boundary` names the bundle feeding stage
+    /// position `boundary` (valid range `1..=m`); `line` is the link number
+    /// within the bundle (`0..N`).
+    Link { boundary: u32, line: usize },
+}
+
+impl NetFault {
+    /// Whether tolerating this fault forces traffic through the extra stage
+    /// (one additional hop per transferred word). Extra-stage and
+    /// output-stage box faults are *hidden*: the bypass multiplexers switch
+    /// the faulted stage out of the data path and every route keeps its
+    /// fault-free hop count. Interior box faults and all link faults are
+    /// *rerouted*: both cube₀ stages must be enabled so routing can pick the
+    /// path avoiding the fault, and every circuit pays the extra stage.
+    pub fn reroutes(self, m: u32) -> bool {
+        match self {
+            NetFault::Box { stage, .. } => stage != 0 && stage != m,
+            NetFault::Link { .. } => true,
+        }
+    }
+
+    /// Validate the fault against a network of `n` endpoints.
+    pub fn validate(self, n: usize) -> Result<(), String> {
+        let m = n.trailing_zeros();
+        match self {
+            NetFault::Box { stage, box_idx } => {
+                if stage > m {
+                    return Err(format!("box stage {stage} out of range 0..={m}"));
+                }
+                if box_idx >= n / 2 {
+                    return Err(format!("box index {box_idx} out of range 0..{}", n / 2));
+                }
+            }
+            NetFault::Link { boundary, line } => {
+                if boundary == 0 || boundary > m {
+                    return Err(format!(
+                        "link boundary {boundary} out of range 1..={m} \
+                         (PE-attached links are untolerable single points)"
+                    ));
+                }
+                if line >= n {
+                    return Err(format!("link line {line} out of range 0..{n}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for NetFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetFault::Box { stage, box_idx } => write!(f, "box:{stage}:{box_idx}"),
+            NetFault::Link { boundary, line } => write!(f, "link:{boundary}:{line}"),
+        }
+    }
+}
+
+/// Every tolerable single fault of an `n`-endpoint ESC, in a stable order:
+/// all boxes stage by stage, then all links boundary by boundary. This is
+/// the exhaustive fault universe the single-fault theorem quantifies over.
+pub fn single_faults(n: usize) -> Vec<NetFault> {
+    assert!(n.is_power_of_two() && n >= 2);
+    let m = n.trailing_zeros();
+    let mut out = Vec::new();
+    for stage in 0..=m {
+        for box_idx in 0..n / 2 {
+            out.push(NetFault::Box { stage, box_idx });
+        }
+    }
+    for boundary in 1..=m {
+        for line in 0..n {
+            out.push(NetFault::Link { boundary, line });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_universe_size() {
+        // n=8: 4 stages × 4 boxes + 3 boundaries × 8 lines = 16 + 24.
+        assert_eq!(single_faults(8).len(), 40);
+        // n=4: 3 stages × 2 boxes + 2 boundaries × 4 lines = 6 + 8.
+        assert_eq!(single_faults(4).len(), 14);
+    }
+
+    #[test]
+    fn classification_matches_the_bypass_rules() {
+        let m = 3;
+        assert!(!NetFault::Box {
+            stage: 0,
+            box_idx: 0
+        }
+        .reroutes(m));
+        assert!(!NetFault::Box {
+            stage: 3,
+            box_idx: 2
+        }
+        .reroutes(m));
+        assert!(NetFault::Box {
+            stage: 1,
+            box_idx: 0
+        }
+        .reroutes(m));
+        assert!(NetFault::Box {
+            stage: 2,
+            box_idx: 3
+        }
+        .reroutes(m));
+        assert!(NetFault::Link {
+            boundary: 1,
+            line: 5
+        }
+        .reroutes(m));
+        assert!(NetFault::Link {
+            boundary: 3,
+            line: 0
+        }
+        .reroutes(m));
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_elements() {
+        assert!(NetFault::Box {
+            stage: 4,
+            box_idx: 0
+        }
+        .validate(8)
+        .is_err());
+        assert!(NetFault::Box {
+            stage: 3,
+            box_idx: 4
+        }
+        .validate(8)
+        .is_err());
+        assert!(NetFault::Link {
+            boundary: 0,
+            line: 0
+        }
+        .validate(8)
+        .is_err());
+        assert!(NetFault::Link {
+            boundary: 4,
+            line: 0
+        }
+        .validate(8)
+        .is_err());
+        assert!(NetFault::Link {
+            boundary: 1,
+            line: 8
+        }
+        .validate(8)
+        .is_err());
+        for f in single_faults(8) {
+            f.validate(8).unwrap();
+        }
+    }
+
+    #[test]
+    fn display_is_the_cli_spelling() {
+        assert_eq!(
+            NetFault::Box {
+                stage: 2,
+                box_idx: 1
+            }
+            .to_string(),
+            "box:2:1"
+        );
+        assert_eq!(
+            NetFault::Link {
+                boundary: 1,
+                line: 7
+            }
+            .to_string(),
+            "link:1:7"
+        );
+    }
+}

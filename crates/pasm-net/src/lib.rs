@@ -20,13 +20,20 @@
 //! * [`network::EscNetwork`] — stage enables, fault injection, destination-tag
 //!   routing with the two-path ESC choice, and circuit-switched conflict
 //!   accounting (claim/release of boxes in straight or exchange mode),
-//! * [`network::ring_circuits`] — establishing the matmul ring permutation.
+//! * [`network::ring_circuits`] — establishing the matmul ring permutation
+//!   (with backtracking over the two-path choice, so the ring comes up under
+//!   any tolerable single fault),
+//! * [`fault`] — the fault taxonomy ([`fault::NetFault`]: interchange boxes
+//!   and inter-stage links) and the exhaustive single-fault universe
+//!   ([`fault::single_faults`]) that `bench --bin faultsweep` quantifies over.
 //!
 //! Timing (set-up cycles, per-byte transfer cycles, handshake polling) is the
 //! machine simulator's concern; this crate is purely structural.
 
+pub mod fault;
 pub mod network;
 pub mod topology;
 
+pub use fault::{single_faults, NetFault};
 pub use network::{ring_circuits, BoxMode, CircuitId, EscNetwork, Hop, NetError, Path};
 pub use topology::{box_index, box_port, peer_line, Stage};

@@ -1,5 +1,6 @@
 //! The ESC network proper: stage enables, faults, routing, circuit switching.
 
+use crate::fault::NetFault;
 use crate::topology::{box_index, box_port, Stage};
 use std::collections::HashMap;
 use std::fmt;
@@ -42,6 +43,11 @@ pub struct Path {
     /// Whether the path exchanges in the extra stage (the "alternate" route).
     pub via_extra: bool,
     pub hops: Vec<Hop>,
+    /// Line trajectory: `lines[b]` is the line entering stage position `b`
+    /// (even across bypassed stages, whose inter-stage links are still
+    /// traversed); `lines[m + 1]` is the destination. Empty for broadcast
+    /// trees, whose link usage is checked at route time instead.
+    pub lines: Vec<usize>,
 }
 
 /// Routing/establishment failures.
@@ -95,6 +101,9 @@ pub struct EscNetwork {
     output_enabled: bool,
     /// `boxes[stage_position][box_index]`.
     boxes: Vec<Vec<BoxState>>,
+    /// `link_faulty[boundary][line]`; only boundaries `1..=m` (the
+    /// inter-stage bundles) are settable — PE-attached links are untolerable.
+    link_faulty: Vec<Vec<bool>>,
     circuits: HashMap<CircuitId, Path>,
     next_id: u32,
 }
@@ -108,12 +117,14 @@ impl EscNetwork {
         );
         let m = n.trailing_zeros();
         let boxes = (0..=m).map(|_| vec![BoxState::default(); n / 2]).collect();
+        let link_faulty = (0..=m + 1).map(|_| vec![false; n]).collect();
         EscNetwork {
             n,
             m,
             extra_enabled: false,
             output_enabled: true,
             boxes,
+            link_faulty,
             circuits: HashMap::new(),
             next_id: 0,
         }
@@ -162,9 +173,40 @@ impl EscNetwork {
         self.boxes[stage as usize][box_idx].faulty = faulty;
     }
 
-    /// True if any box is currently faulty.
+    /// Mark an inter-stage link faulty (or repaired). `boundary` names the
+    /// bundle feeding stage position `boundary`; only `1..=m` is legal — the
+    /// PE-attached input/output links are single points no network survives.
+    pub fn set_link_fault(&mut self, boundary: u32, line: usize, faulty: bool) {
+        assert!(
+            boundary >= 1 && boundary <= self.m,
+            "link boundary must be in 1..={}, got {boundary}",
+            self.m
+        );
+        assert!(line < self.n, "link line {line} out of range 0..{}", self.n);
+        self.link_faulty[boundary as usize][line] = faulty;
+    }
+
+    /// Inject a fault described by a [`NetFault`].
+    pub fn inject(&mut self, fault: NetFault) {
+        match fault {
+            NetFault::Box { stage, box_idx } => self.set_fault(stage, box_idx, true),
+            NetFault::Link { boundary, line } => self.set_link_fault(boundary, line, true),
+        }
+    }
+
+    /// Inject every fault in the set, then [`Self::reconfigure_for_faults`].
+    /// The canonical way to bring up a degraded network.
+    pub fn apply_faults(&mut self, faults: &[NetFault]) {
+        for &f in faults {
+            self.inject(f);
+        }
+        self.reconfigure_for_faults();
+    }
+
+    /// True if any box or link is currently faulty.
     pub fn has_faults(&self) -> bool {
         self.boxes.iter().flatten().any(|b| b.faulty)
+            || self.link_faulty.iter().flatten().any(|&f| f)
     }
 
     /// Reconfigure the bypass stages for the current fault set, per the ESC
@@ -173,8 +215,10 @@ impl EscNetwork {
     /// * fault-free → extra stage bypassed, output stage enabled (plain cube);
     /// * fault only in the extra stage → same (the bypass hides it);
     /// * fault in the output stage → extra stage enabled, output bypassed;
-    /// * fault in an interior stage → both cube₀ stages enabled, so routing
-    ///   can pick whichever of the two paths avoids the faulty box.
+    /// * fault in an interior stage, or any **link** fault → both cube₀
+    ///   stages enabled, so routing can pick whichever of the two paths
+    ///   avoids the faulty element (the two paths differ in address bit 0 at
+    ///   every interior boundary, so they never share an interior link).
     ///
     /// Panics if circuits are established (reconfiguration drops the data path).
     pub fn reconfigure_for_faults(&mut self) {
@@ -185,12 +229,13 @@ impl EscNetwork {
         let extra_fault = self.boxes[0].iter().any(|b| b.faulty);
         let output_fault = self.boxes[self.m as usize].iter().any(|b| b.faulty);
         let interior_fault = (1..self.m as usize).any(|s| self.boxes[s].iter().any(|b| b.faulty));
-        if output_fault {
-            self.extra_enabled = true;
-            self.output_enabled = false;
-        } else if interior_fault {
+        let link_fault = self.link_faulty.iter().flatten().any(|&f| f);
+        if interior_fault || link_fault {
             self.extra_enabled = true;
             self.output_enabled = true;
+        } else if output_fault {
+            self.extra_enabled = true;
+            self.output_enabled = false;
         } else {
             // Fault-free, or faults confined to the (bypassed) extra stage.
             self.extra_enabled = false;
@@ -211,7 +256,9 @@ impl EscNetwork {
         }
         let mut line = src;
         let mut hops = Vec::with_capacity(self.stages());
+        let mut lines = Vec::with_capacity(self.stages() + 1);
         for stage in Stage::all(self.m) {
+            lines.push(line);
             let enabled = match stage.position {
                 0 => self.extra_enabled,
                 p if p == self.m => self.output_enabled,
@@ -248,19 +295,31 @@ impl EscNetwork {
                 line ^= 1 << stage.bit;
             }
         }
+        lines.push(line);
         (line == dst).then_some(Path {
             src,
             dst,
             via_extra,
             hops,
+            lines,
         })
     }
 
-    /// True if every box on the path is healthy.
+    /// True if every box and every inter-stage link on the path is healthy.
+    /// Links are traversed even across bypassed stages (the bypass routes
+    /// around the boxes, not the wires), which is why the check walks the
+    /// recorded line trajectory rather than the hop list.
     pub fn path_fault_free(&self, path: &Path) -> bool {
-        path.hops
+        let boxes_ok = path
+            .hops
             .iter()
-            .all(|h| !self.boxes[h.stage as usize][h.box_idx].faulty)
+            .all(|h| !self.boxes[h.stage as usize][h.box_idx].faulty);
+        let links_ok = (1..=self.m as usize).all(|b| {
+            path.lines
+                .get(b)
+                .is_none_or(|&line| !self.link_faulty[b][line])
+        });
+        boxes_ok && links_ok
     }
 
     /// True if the path can be claimed given current circuit occupancy.
@@ -289,6 +348,15 @@ impl EscNetwork {
         let mut lines = vec![src];
         let mut hops = Vec::new();
         for stage in Stage::all(self.m) {
+            // Inter-stage links are traversed whether or not the stage's boxes
+            // are in the data path, so a faulted link kills the whole tree.
+            if stage.position >= 1
+                && lines
+                    .iter()
+                    .any(|&l| self.link_faulty[stage.position as usize][l])
+            {
+                return None;
+            }
             let enabled = match stage.position {
                 0 => self.extra_enabled,
                 p if p == self.m => self.output_enabled,
@@ -340,6 +408,7 @@ impl EscNetwork {
             dst: usize::MAX,
             via_extra: false,
             hops,
+            lines: vec![],
         };
         if !self.path_fault_free(&path) {
             return Err(NetError::Unroutable {
@@ -401,15 +470,7 @@ impl EscNetwork {
             }
             saw_fault_free = true;
             if self.path_available(path) {
-                let id = CircuitId(self.next_id);
-                self.next_id += 1;
-                for h in &path.hops {
-                    let b = &mut self.boxes[h.stage as usize][h.box_idx];
-                    b.mode = Some(h.mode);
-                    b.port_used[h.port] = true;
-                }
-                self.circuits.insert(id, path.clone());
-                return Ok(id);
+                return Ok(self.claim(path));
             }
         }
         if saw_fault_free {
@@ -417,6 +478,39 @@ impl EscNetwork {
         } else {
             Err(NetError::Unroutable { src, dst })
         }
+    }
+
+    /// Establish a specific pre-routed path (e.g. one chosen by a global
+    /// allocator such as [`ring_circuits`], which may need the alternate route
+    /// for some pairs even when the direct one is individually claimable).
+    pub fn establish_path(&mut self, path: &Path) -> Result<CircuitId, NetError> {
+        if !self.path_fault_free(path) {
+            return Err(NetError::Unroutable {
+                src: path.src,
+                dst: path.dst,
+            });
+        }
+        if !self.path_available(path) {
+            return Err(NetError::Blocked {
+                src: path.src,
+                dst: path.dst,
+            });
+        }
+        Ok(self.claim(path))
+    }
+
+    /// Latch the path's boxes and register the circuit. Caller must have
+    /// verified fault-freeness and availability.
+    fn claim(&mut self, path: &Path) -> CircuitId {
+        let id = CircuitId(self.next_id);
+        self.next_id += 1;
+        for h in &path.hops {
+            let b = &mut self.boxes[h.stage as usize][h.box_idx];
+            b.mode = Some(h.mode);
+            b.port_used[h.port] = true;
+        }
+        self.circuits.insert(id, path.clone());
+        id
     }
 
     /// Tear down a circuit, freeing its boxes.
@@ -465,19 +559,61 @@ impl EscNetwork {
 /// keeps "the network in one configuration", paying set-up once.
 pub fn ring_circuits(net: &mut EscNetwork, pes: &[usize]) -> Result<Vec<CircuitId>, NetError> {
     let p = pes.len();
-    let mut ids = Vec::with_capacity(p);
+    // Pre-route the fault-free candidates of every logical pair. A faulted
+    // network may force *particular* pairs onto their alternate route, and a
+    // greedy left-to-right assignment can claim a box the only surviving path
+    // of a later pair needs — so allocate globally with backtracking over the
+    // (at most two) choices per pair. Fault-free networks still resolve on the
+    // all-direct first branch, identical to the old greedy behaviour.
+    let mut options: Vec<Vec<Path>> = Vec::with_capacity(p);
     for i in 0..p {
-        match net.establish(pes[i], pes[(i + p - 1) % p]) {
-            Ok(id) => ids.push(id),
-            Err(e) => {
-                for id in ids {
-                    let _ = net.release(id);
+        let (src, dst) = (pes[i], pes[(i + p - 1) % p]);
+        if src >= net.size() {
+            return Err(NetError::BadEndpoint(src));
+        }
+        if dst >= net.size() {
+            return Err(NetError::BadEndpoint(dst));
+        }
+        let cands: Vec<Path> = [false, true]
+            .into_iter()
+            .filter_map(|via| net.route(src, dst, via))
+            .filter(|path| net.path_fault_free(path))
+            .collect();
+        if cands.is_empty() {
+            return Err(NetError::Unroutable { src, dst });
+        }
+        options.push(cands);
+    }
+    fn dfs(
+        net: &mut EscNetwork,
+        options: &[Vec<Path>],
+        i: usize,
+        ids: &mut Vec<CircuitId>,
+    ) -> bool {
+        if i == options.len() {
+            return true;
+        }
+        for path in &options[i] {
+            if let Ok(id) = net.establish_path(path) {
+                ids.push(id);
+                if dfs(net, options, i + 1, ids) {
+                    return true;
                 }
-                return Err(e);
+                ids.pop();
+                let _ = net.release(id);
             }
         }
+        false
     }
-    Ok(ids)
+    let mut ids = Vec::with_capacity(p);
+    if dfs(net, &options, 0, &mut ids) {
+        Ok(ids)
+    } else {
+        Err(NetError::Blocked {
+            src: pes[0],
+            dst: pes[(p - 1) % p],
+        })
+    }
 }
 
 #[cfg(test)]
@@ -669,6 +805,106 @@ mod tests {
         net.set_output_enabled(false);
         assert!(net.broadcast_route(0).is_none());
         assert!(net.establish_broadcast(0).is_err());
+    }
+
+    #[test]
+    fn link_fault_forces_both_stages_and_disjoint_lines_survive() {
+        let mut net = fresh(8);
+        net.apply_faults(&[NetFault::Link {
+            boundary: 2,
+            line: 3,
+        }]);
+        assert!(net.extra_enabled() && net.output_enabled());
+        for s in 0..8 {
+            for d in 0..8 {
+                let a = net.route(s, d, false).unwrap();
+                let b = net.route(s, d, true).unwrap();
+                // The two paths differ in address bit 0 at every interior
+                // boundary, so they never share an inter-stage line.
+                for bdy in 1..=3 {
+                    assert_ne!(a.lines[bdy], b.lines[bdy], "{s}->{d} boundary {bdy}");
+                }
+                assert!(
+                    net.path_fault_free(&a) || net.path_fault_free(&b),
+                    "{s}->{d}: both paths hit the faulted link"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_fault_leaves_all_pairs_routable() {
+        for n in [8usize, 16] {
+            for fault in crate::fault::single_faults(n) {
+                let mut net = fresh(n);
+                net.apply_faults(&[fault]);
+                for s in 0..n {
+                    for d in 0..n {
+                        let id = net
+                            .establish(s, d)
+                            .unwrap_or_else(|e| panic!("n={n} fault={fault} {s}->{d}: {e}"));
+                        net.release(id).unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spread_ring_establishes_under_every_single_fault() {
+        // With PEs on every other line (p <= n/2) no two ring circuits share
+        // an extra- or output-stage box, so each pair's via-extra choice is
+        // free and the backtracking allocator always finds an assignment.
+        for n in [8usize, 16] {
+            for fault in crate::fault::single_faults(n) {
+                let mut net = fresh(n);
+                net.apply_faults(&[fault]);
+                for p in [2usize, 4, 8].into_iter().filter(|&p| p <= n / 2) {
+                    let pes: Vec<usize> = (0..p).map(|l| l * (n / p)).collect();
+                    let ids = ring_circuits(&mut net, &pes)
+                        .unwrap_or_else(|e| panic!("n={n} fault={fault} p={p}: {e}"));
+                    assert_eq!(ids.len(), p);
+                    net.release_all();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_ring_under_interior_fault_blocks_cleanly() {
+        // The p = n ring covers every line, so every interior stage needs all
+        // n/2 of its boxes: a single interior box fault makes the one-pass
+        // permutation infeasible (the ESC theorem guarantees one-to-one
+        // connections, and *two* passes for permutations). The allocator must
+        // report Blocked, not panic or leak circuits.
+        let mut net = fresh(4);
+        net.apply_faults(&[NetFault::Box {
+            stage: 1,
+            box_idx: 0,
+        }]);
+        let pes: Vec<usize> = (0..4).collect();
+        match ring_circuits(&mut net, &pes) {
+            Err(NetError::Blocked { .. }) => {}
+            other => panic!("expected Blocked, got {other:?}"),
+        }
+        assert_eq!(net.live_circuits(), 0);
+        // The network is still fully usable pairwise.
+        let id = net.establish(0, 3).unwrap();
+        net.release(id).unwrap();
+    }
+
+    #[test]
+    fn broadcast_killed_by_link_fault_but_unicast_survives() {
+        let mut net = fresh(8);
+        net.apply_faults(&[NetFault::Link {
+            boundary: 3,
+            line: 6,
+        }]);
+        // The tree reaches every line, so any link fault at an interior
+        // boundary intersects it.
+        assert!(net.broadcast_route(0).is_none());
+        let id = net.establish(0, 6).unwrap();
+        net.release(id).unwrap();
     }
 
     #[test]

@@ -69,10 +69,22 @@ pub struct VirtualMachine {
 /// Choose physical PEs for a `p`-processor virtual machine following PASM's
 /// partitioning (PE i belongs to MC `i mod Q`; a partition uses whole MCs when
 /// possible, otherwise the same low-numbered PEs of MC 0).
+///
+/// When fewer than all MCs are needed, the chosen MCs are spaced evenly
+/// (stride `Q / mcs_used`) rather than taken contiguously, so the partition's
+/// PEs land on evenly-spread network lines. A spread partition's ring
+/// circuits survive **every** single ESC fault (verified exhaustively by the
+/// `pasm-net` tests); contiguous MC sets put adjacent lines in the ring and
+/// lose that property for roughly half the interior faults.
 pub fn select_vm(cfg: &MachineConfig, p: usize) -> VirtualMachine {
     let per_group = cfg.pes_per_mc();
     let mcs_used = p.div_ceil(per_group);
-    select_vm_on_mcs(cfg, p, &(0..mcs_used).collect::<Vec<_>>())
+    let stride = cfg.n_mcs / mcs_used;
+    select_vm_on_mcs(
+        cfg,
+        p,
+        &(0..mcs_used).map(|i| i * stride).collect::<Vec<_>>(),
+    )
 }
 
 /// Choose physical PEs for a `p`-processor virtual machine on a *specific* set
@@ -120,9 +132,12 @@ mod tests {
         assert_eq!(vm.mcs, vec![0]);
         assert_eq!(vm.mask, 0xF);
 
+        // Half-machine partitions take every other MC, so the PEs sit on
+        // every other network line — the spread that keeps ring circuits
+        // routable under any single ESC fault.
         let vm = select_vm(&cfg, 8);
-        assert_eq!(vm.pes, vec![0, 1, 4, 5, 8, 9, 12, 13]);
-        assert_eq!(vm.mcs, vec![0, 1]);
+        assert_eq!(vm.pes, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        assert_eq!(vm.mcs, vec![0, 2]);
         assert_eq!(vm.mask, 0xF);
 
         let vm = select_vm(&cfg, 16);

@@ -89,7 +89,10 @@ fn main() -> ExitCode {
         server.addr()
     );
     eprintln!(
-        "endpoints: POST /submit, GET /status/<id>, GET /result/<id>, POST /cancel/<id>, GET /healthz, GET /stats"
+        "endpoints: POST /submit, GET /status/<id>, GET /result/<id>, POST /cancel/<id>, GET /healthz, GET /stats, GET /metrics"
+    );
+    eprintln!(
+        "submit extras: \"fault\" (e.g. \"box:1:0,dead:3\" — see docs/FAULTS.md), \"deadline_ms\", test-only \"chaos\""
     );
 
     // Serve until the process is killed; the drain path is exercised through

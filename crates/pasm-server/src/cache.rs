@@ -102,6 +102,7 @@ mod tests {
             mode: Mode::Simd,
             params: Params::new(n, 4),
             seed: 1,
+            fault: Default::default(),
         }
     }
 
@@ -119,6 +120,9 @@ mod tests {
             pe_instrs: 10,
             pe_buckets: [0; pasm_machine::N_BUCKETS],
             c_checksum: 0,
+            fault: String::new(),
+            baseline_cycles: 0,
+            slowdown: 1.0,
         })
     }
 

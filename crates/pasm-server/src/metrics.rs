@@ -104,6 +104,30 @@ pub fn render(
         "Submissions pushed back with 429 queue_full.",
         stats.rejected_queue_full.load(Ordering::Relaxed),
     );
+    counter(
+        &mut out,
+        "pasm_job_retries_total",
+        "Worker attempts that panicked and were retried with backoff.",
+        stats.retries.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "pasm_jobs_quarantined_total",
+        "Jobs failed after a caught worker panic exhausted the retry budget.",
+        stats.quarantined.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "pasm_watchdog_timeouts_total",
+        "Running jobs interrupted by the deadline watchdog.",
+        stats.watchdog_timeouts.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "pasm_fault_jobs_total",
+        "Submissions that carried a non-empty fault plan.",
+        stats.fault_jobs.load(Ordering::Relaxed),
+    );
 
     gauge(
         &mut out,
@@ -206,6 +230,10 @@ mod tests {
             );
         }
         assert!(text.contains("pasm_queue_depth 3"));
+        assert!(text.contains("pasm_jobs_quarantined_total 0"));
+        assert!(text.contains("pasm_job_retries_total 0"));
+        assert!(text.contains("pasm_watchdog_timeouts_total 0"));
+        assert!(text.contains("pasm_fault_jobs_total 0"));
         assert!(text.contains("pasm_queue_capacity 64"));
         assert!(text.contains("pasm_sim_cycle_bucket_total{bucket=\"barrier_wait\"} 0"));
         assert!(text.contains("pasm_job_wall_ms_bucket{kind=\"cold\",le=\"+Inf\"} 0"));

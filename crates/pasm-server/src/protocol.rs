@@ -3,12 +3,19 @@
 //! `pasm_util::json`; validation happens here so the simulator's internal
 //! `assert!`s never fire on user input.
 
-use pasm::{ExperimentKey, Mode, Params};
+use pasm::{ExperimentKey, FaultPlan, Mode, Params};
 use pasm_machine::{MachineConfig, ReleaseMode};
 use pasm_util::Json;
 
 /// Default workload seed (the paper's).
 pub const DEFAULT_SEED: u64 = pasm::figures::DEFAULT_SEED;
+
+/// Cycle budget imposed on faulted jobs whose config has no budget of its
+/// own: an injected fault can starve a transfer indefinitely (e.g. a stuck
+/// network port under polling), and the simulator's deadlock detector only
+/// catches *global* arrest. The cap turns such runs into a clean
+/// `CycleLimit` failure instead of an unbounded simulation.
+pub const FAULT_MAX_CYCLES: u64 = 50_000_000;
 
 /// A validated submission: what to simulate and how long the client will wait.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,8 +23,24 @@ pub struct JobSpec {
     pub key: ExperimentKey,
     /// Wall-clock admission deadline in milliseconds from submission: a job
     /// still waiting in the queue when it expires is dropped as `expired`
-    /// rather than simulated for nobody.
+    /// rather than simulated for nobody. A *running* job past its deadline
+    /// is interrupted by the watchdog and fails.
     pub deadline_ms: Option<u64>,
+    /// Test-only chaos hook: makes the worker misbehave *around* the
+    /// simulation (panic, transient failure). Deliberately **not** part of
+    /// the key — chaos must never poison the result cache.
+    pub chaos: Option<ChaosSpec>,
+}
+
+/// What the chaos hook does to the worker processing this job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosSpec {
+    /// Panic on every attempt — a deterministic bug. The job must end
+    /// `failed` with the panic recorded, and the worker slot must survive.
+    Panic,
+    /// Panic on the first `times` attempts, then succeed — a transient
+    /// failure the retry loop should absorb.
+    Transient { times: u32 },
 }
 
 /// A client-facing rejection: HTTP status plus a stable error code.
@@ -79,7 +102,7 @@ impl JobSpec {
                     .ok_or_else(|| BadRequest::new("`deadline_ms` must be an integer"))?,
             ),
         };
-        let config = machine_config(body.get("config"))?;
+        let mut config = machine_config(body.get("config"))?;
 
         // Re-state the simulator's own invariants as client errors.
         if n == 0 || n > 512 {
@@ -98,15 +121,64 @@ impl JobSpec {
             return Err(BadRequest::new("`n` must be at least `p`"));
         }
 
+        let fault = match body.get("fault") {
+            None | Some(Json::Null) => FaultPlan::default(),
+            Some(Json::Str(spec)) => {
+                let plan =
+                    FaultPlan::parse(spec).map_err(|e| BadRequest::new(format!("`fault`: {e}")))?;
+                plan.validate(config.n_pes)
+                    .map_err(|e| BadRequest::new(format!("`fault`: {e}")))?;
+                plan
+            }
+            Some(_) => {
+                return Err(BadRequest::new(
+                    "`fault` must be a fault-spec string, e.g. \"box:1:0,dead:3\"",
+                ))
+            }
+        };
+        if !fault.is_empty() && config.max_cycles == u64::MAX {
+            config.max_cycles = FAULT_MAX_CYCLES;
+        }
+        let chaos = chaos_spec(body.get("chaos"))?;
+
         Ok(JobSpec {
             key: ExperimentKey {
                 config,
                 mode,
                 params: Params { n, p, extra_muls },
                 seed,
+                fault,
             },
             deadline_ms,
+            chaos,
         })
+    }
+}
+
+/// Parse the optional test-only `chaos` member:
+/// `{"kind": "panic"|"transient", "times": k}`.
+fn chaos_spec(spec: Option<&Json>) -> Result<Option<ChaosSpec>, BadRequest> {
+    let spec = match spec {
+        None | Some(Json::Null) => return Ok(None),
+        Some(s) => s,
+    };
+    if !matches!(spec, Json::Obj(_)) {
+        return Err(BadRequest::new("`chaos` must be a JSON object"));
+    }
+    match spec.get("kind").and_then(Json::as_str) {
+        Some("panic") => Ok(Some(ChaosSpec::Panic)),
+        Some("transient") => {
+            let times = field_u64(spec, "times", 1)?;
+            if times == 0 || times > 16 {
+                return Err(BadRequest::new("`chaos.times` must be in 1..=16"));
+            }
+            Ok(Some(ChaosSpec::Transient {
+                times: times as u32,
+            }))
+        }
+        _ => Err(BadRequest::new(
+            "`chaos.kind` must be \"panic\" or \"transient\"",
+        )),
     }
 }
 
@@ -249,6 +321,53 @@ mod tests {
                 "{why}: {body}"
             );
         }
+    }
+
+    #[test]
+    fn fault_spec_parses_and_caps_cycles() {
+        let spec = JobSpec::from_json(
+            &parse(r#"{"mode":"smimd","n":16,"p":8,"fault":"box:1:0,dead:3"}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(spec.key.fault.net.len(), 1);
+        assert_eq!(spec.key.fault.pe.len(), 1);
+        assert_eq!(spec.key.config.max_cycles, FAULT_MAX_CYCLES);
+        // Fault-free submissions keep the unbounded default.
+        let clean = JobSpec::from_json(&parse(r#"{"mode":"simd","n":16}"#).unwrap()).unwrap();
+        assert!(clean.key.fault.is_empty());
+        assert_eq!(clean.key.config.max_cycles, u64::MAX);
+    }
+
+    #[test]
+    fn bad_fault_specs_are_client_errors() {
+        for body in [
+            r#"{"mode":"simd","n":16,"fault":"warp:1"}"#,
+            r#"{"mode":"simd","n":16,"fault":"dead:99"}"#,
+            r#"{"mode":"simd","n":16,"fault":42}"#,
+            r#"{"mode":"simd","n":16,"fault":"box:9:0"}"#,
+        ] {
+            assert!(JobSpec::from_json(&parse(body).unwrap()).is_err(), "{body}");
+        }
+    }
+
+    #[test]
+    fn chaos_parses_but_stays_out_of_the_key() {
+        let a = JobSpec::from_json(
+            &parse(r#"{"mode":"simd","n":16,"chaos":{"kind":"transient","times":2}}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(a.chaos, Some(ChaosSpec::Transient { times: 2 }));
+        let b = JobSpec::from_json(&parse(r#"{"mode":"simd","n":16}"#).unwrap()).unwrap();
+        assert_eq!(a.key, b.key, "chaos must not affect the cache key");
+        let c = JobSpec::from_json(
+            &parse(r#"{"mode":"simd","n":16,"chaos":{"kind":"panic"}}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(c.chaos, Some(ChaosSpec::Panic));
+        assert!(JobSpec::from_json(
+            &parse(r#"{"mode":"simd","n":16,"chaos":{"kind":"??"}}"#).unwrap()
+        )
+        .is_err());
     }
 
     #[test]

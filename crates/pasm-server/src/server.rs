@@ -11,10 +11,11 @@
 use crate::cache::ResultCache;
 use crate::http::{read_request, write_json, write_text, Request};
 use crate::metrics;
-use crate::protocol::{error_body, BadRequest, JobSpec, JobStatus};
+use crate::protocol::{error_body, BadRequest, ChaosSpec, JobSpec, JobStatus};
 use crate::queue::JobQueue;
 use crate::stats::Stats;
-use pasm::{run_keyed, ExperimentResult, WorkerPool};
+use pasm::{run_keyed_with_interrupt, ExperimentResult, WorkerPool};
+use pasm_machine::RunError;
 use pasm_util::{Json, ToJson};
 use std::collections::HashMap;
 use std::io;
@@ -64,6 +65,13 @@ struct Job {
     submitted_at: Instant,
     result: Option<Arc<ExperimentResult>>,
     wall_ms: u64,
+    /// Worker attempts consumed so far (1 = no retries).
+    attempts: u32,
+    /// A client asked to cancel while the job was running; the worker's
+    /// interrupt flag is tripped and the job ends `canceled` when it stops.
+    cancel_requested: bool,
+    /// The deadline watchdog tripped this job's interrupt flag.
+    watchdog_fired: bool,
 }
 
 struct AppState {
@@ -71,8 +79,15 @@ struct AppState {
     cache: ResultCache,
     stats: Stats,
     jobs: Mutex<HashMap<u64, Job>>,
+    /// Interrupt flags of currently-running jobs, keyed by job id. Tripping
+    /// a flag (cancel, watchdog) makes the simulation return `Interrupted`
+    /// at its next scheduler check. Lock order: `jobs` before `interrupts`.
+    interrupts: Mutex<HashMap<u64, Arc<AtomicBool>>>,
     next_id: AtomicU64,
     draining: AtomicBool,
+    /// Tells the watchdog thread to exit (set after the worker pool joins,
+    /// so deadlines keep firing while the drain finishes running jobs).
+    watchdog_stop: AtomicBool,
     workers: usize,
 }
 
@@ -83,6 +98,7 @@ pub struct Server {
     addr: SocketAddr,
     pool: Option<WorkerPool>,
     accept: Option<thread::JoinHandle<()>>,
+    watchdog: Option<thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -98,8 +114,10 @@ impl Server {
             cache: ResultCache::new(config.cache_capacity),
             stats: Stats::new(config.log_path.as_deref())?,
             jobs: Mutex::new(HashMap::new()),
+            interrupts: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             draining: AtomicBool::new(false),
+            watchdog_stop: AtomicBool::new(false),
             workers: config.workers.max(1),
         });
 
@@ -112,6 +130,19 @@ impl Server {
                 }
             });
         }
+
+        // Deadline watchdog: a *running* job past its deadline gets its
+        // interrupt flag tripped and ends `failed` — no worker thread is
+        // ever killed, the simulation stops cooperatively.
+        let wd_state = Arc::clone(&state);
+        let watchdog = thread::Builder::new()
+            .name("pasm-watchdog".into())
+            .spawn(move || {
+                while !wd_state.watchdog_stop.load(Ordering::SeqCst) {
+                    fire_watchdog(&wd_state);
+                    thread::sleep(Duration::from_millis(5));
+                }
+            })?;
 
         let accept_state = Arc::clone(&state);
         let accept = thread::Builder::new()
@@ -141,6 +172,7 @@ impl Server {
             addr,
             pool: Some(pool),
             accept: Some(accept),
+            watchdog: Some(watchdog),
         })
     }
 
@@ -169,6 +201,12 @@ impl Server {
         if let Some(mut pool) = self.pool.take() {
             pool.join();
         }
+        // Stop the watchdog only after the workers are gone, so deadlines
+        // keep bounding jobs that finish during the drain.
+        self.state.watchdog_stop.store(true, Ordering::SeqCst);
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
@@ -185,94 +223,218 @@ impl Drop for Server {
 // Worker path
 // ----------------------------------------------------------------------
 
+/// Attempts per job: one initial try plus two panic retries.
+const MAX_ATTEMPTS: u32 = 3;
+/// Backoff before retry k is `RETRY_BACKOFF_MS << (k - 1)`.
+const RETRY_BACKOFF_MS: u64 = 25;
+
+/// Why a job did not produce a result.
+enum JobFailure {
+    /// The simulation returned an error (deterministic — never retried).
+    Error(RunError),
+    /// Every attempt panicked; the panic payload of the last one.
+    Panic(String),
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".to_string())
+}
+
+/// One worker attempt: fire the test-only chaos hook, then simulate with a
+/// cooperative interrupt attached.
+fn attempt_job(
+    spec: &JobSpec,
+    attempt: u32,
+    interrupt: &Arc<AtomicBool>,
+) -> Result<ExperimentResult, RunError> {
+    match spec.chaos {
+        Some(ChaosSpec::Panic) => panic!("chaos: injected panic (attempt {attempt})"),
+        Some(ChaosSpec::Transient { times }) if attempt < times => {
+            panic!("chaos: injected transient failure (attempt {attempt} of {times})")
+        }
+        _ => {}
+    }
+    run_keyed_with_interrupt(&spec.key, Some(Arc::clone(interrupt)))
+}
+
 fn run_job(state: &AppState, job_id: u64) {
+    // Publish the interrupt flag first, so cancel/watchdog can reach this
+    // run from the instant the job is marked running.
+    let interrupt = Arc::new(AtomicBool::new(false));
+    state
+        .interrupts
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(job_id, Arc::clone(&interrupt));
+    let unregister = |state: &AppState| {
+        state
+            .interrupts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&job_id);
+    };
+
     // Claim the job: skip if canceled, expire if its deadline passed in the
     // queue, otherwise mark running.
     let spec = {
         let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
         let Some(job) = jobs.get_mut(&job_id) else {
+            drop(jobs);
+            unregister(state);
             return;
         };
         if job.status != JobStatus::Queued {
+            drop(jobs);
+            unregister(state);
             return;
         }
         if let Some(deadline_ms) = job.spec.deadline_ms {
             if job.submitted_at.elapsed() >= Duration::from_millis(deadline_ms) {
                 job.status = JobStatus::Expired;
                 state.stats.count(JobStatus::Expired);
+                drop(jobs);
+                unregister(state);
                 return;
             }
         }
         job.status = JobStatus::Running;
+        // A cancel may have landed between the queue pop and the flag
+        // registration above; honor it before burning simulation time.
+        if job.cancel_requested {
+            interrupt.store(true, Ordering::SeqCst);
+        }
         job.spec.clone()
     };
 
     // Duplicate coalescing: an identical job may have completed while this
     // one waited in the queue.
     if let Some(hit) = state.cache.peek(&spec.key) {
-        finish(state, job_id, Ok(hit), true, 0);
+        unregister(state);
+        finish_done(state, job_id, hit, true, 0, 1);
         return;
     }
 
+    // Quarantined retry loop: every attempt runs under `catch_unwind`, so a
+    // worker panic becomes a recorded failure instead of a dead slot. Panics
+    // are treated as transient up to the retry budget (with exponential
+    // backoff); simulation *errors* are deterministic and never retried.
     let t0 = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| run_keyed(&spec.key)));
+    let mut attempt: u32 = 0;
+    let outcome = loop {
+        let run = catch_unwind(AssertUnwindSafe(|| attempt_job(&spec, attempt, &interrupt)));
+        match run {
+            Ok(Ok(result)) => break Ok(Arc::new(result)),
+            Ok(Err(e)) => break Err(JobFailure::Error(e)),
+            Err(panic) => {
+                let msg = panic_message(panic);
+                if attempt + 1 < MAX_ATTEMPTS && !interrupt.load(Ordering::SeqCst) {
+                    state.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    thread::sleep(Duration::from_millis(RETRY_BACKOFF_MS << attempt));
+                    attempt += 1;
+                    continue;
+                }
+                state.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                break Err(JobFailure::Panic(msg));
+            }
+        }
+    };
     let wall_ms = t0.elapsed().as_millis() as u64;
+    unregister(state);
+
     match outcome {
-        Ok(Ok(result)) => {
-            let result = Arc::new(result);
+        Ok(result) => {
             state.cache.insert(spec.key, Arc::clone(&result));
-            finish(state, job_id, Ok(result), false, wall_ms);
+            finish_done(state, job_id, result, false, wall_ms, attempt + 1);
         }
-        Ok(Err(e)) => finish(
-            state,
-            job_id,
-            Err(format!("simulation error: {e}")),
-            false,
-            wall_ms,
-        ),
-        Err(panic) => {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic".to_string());
-            finish(
-                state,
-                job_id,
-                Err(format!("simulation panicked: {msg}")),
-                false,
-                wall_ms,
-            )
-        }
+        Err(failure) => finish_failed(state, job_id, failure, wall_ms, attempt + 1),
     }
 }
 
-fn finish(
+fn finish_done(
     state: &AppState,
     job_id: u64,
-    outcome: Result<Arc<ExperimentResult>, String>,
+    result: Arc<ExperimentResult>,
     cache_hit: bool,
     wall_ms: u64,
+    attempts: u32,
 ) {
     let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
     let Some(job) = jobs.get_mut(&job_id) else {
         return;
     };
-    match outcome {
-        Ok(result) => {
-            job.status = JobStatus::Done;
-            job.cached = cache_hit;
-            job.wall_ms = wall_ms;
-            state.stats.count(JobStatus::Done);
-            state
-                .stats
-                .record_completion(job_id, &result, wall_ms, cache_hit);
-            job.result = Some(result);
+    job.status = JobStatus::Done;
+    job.cached = cache_hit;
+    job.wall_ms = wall_ms;
+    job.attempts = attempts;
+    state.stats.count(JobStatus::Done);
+    state
+        .stats
+        .record_completion(job_id, &result, wall_ms, cache_hit);
+    job.result = Some(result);
+}
+
+fn finish_failed(state: &AppState, job_id: u64, failure: JobFailure, wall_ms: u64, attempts: u32) {
+    let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(job) = jobs.get_mut(&job_id) else {
+        return;
+    };
+    job.wall_ms = wall_ms;
+    job.attempts = attempts;
+    match failure {
+        // An interrupted run is whatever the interrupter meant it to be:
+        // a client cancellation or a watchdog deadline.
+        JobFailure::Error(RunError::Interrupted) if job.cancel_requested => {
+            job.status = JobStatus::Canceled;
+            job.error = Some("canceled while running".to_string());
+            state.stats.count(JobStatus::Canceled);
         }
-        Err(message) => {
+        JobFailure::Error(RunError::Interrupted) if job.watchdog_fired => {
             job.status = JobStatus::Failed;
-            job.error = Some(message);
+            job.error = Some("deadline exceeded while running".to_string());
             state.stats.count(JobStatus::Failed);
+        }
+        JobFailure::Error(e) => {
+            job.status = JobStatus::Failed;
+            job.error = Some(format!("simulation error: {e}"));
+            state.stats.count(JobStatus::Failed);
+        }
+        JobFailure::Panic(msg) => {
+            job.status = JobStatus::Failed;
+            job.error = Some(format!("simulation panicked: {msg}"));
+            state.stats.count(JobStatus::Failed);
+        }
+    }
+}
+
+/// One watchdog sweep: trip the interrupt of every running job whose
+/// wall-clock deadline has passed.
+fn fire_watchdog(state: &AppState) {
+    let mut fired = Vec::new();
+    {
+        let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        for (&id, job) in jobs.iter_mut() {
+            if job.status == JobStatus::Running && !job.watchdog_fired {
+                if let Some(deadline_ms) = job.spec.deadline_ms {
+                    if job.submitted_at.elapsed() >= Duration::from_millis(deadline_ms) {
+                        job.watchdog_fired = true;
+                        fired.push(id);
+                    }
+                }
+            }
+        }
+    }
+    let interrupts = state.interrupts.lock().unwrap_or_else(|e| e.into_inner());
+    for id in fired {
+        state
+            .stats
+            .watchdog_timeouts
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(flag) = interrupts.get(&id) {
+            flag.store(true, Ordering::SeqCst);
         }
     }
 }
@@ -361,6 +523,9 @@ fn submit(state: &AppState, body: &str) -> (u16, Json) {
         Err(BadRequest { message }) => return (400, error_body("bad_request", &message)),
     };
     state.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    if !spec.key.fault.is_empty() {
+        state.stats.fault_jobs.fetch_add(1, Ordering::Relaxed);
+    }
     let fingerprint = format!("{:016x}", spec.key.fingerprint());
 
     // Cache hit: the job completes at submission time, no queue involved.
@@ -377,6 +542,9 @@ fn submit(state: &AppState, body: &str) -> (u16, Json) {
                 submitted_at: Instant::now(),
                 result: Some(Arc::clone(&hit)),
                 wall_ms: 0,
+                attempts: 0,
+                cancel_requested: false,
+                watchdog_fired: false,
             },
         );
         drop(jobs);
@@ -408,6 +576,9 @@ fn submit(state: &AppState, body: &str) -> (u16, Json) {
                 submitted_at: Instant::now(),
                 result: None,
                 wall_ms: 0,
+                attempts: 0,
+                cancel_requested: false,
+                watchdog_fired: false,
             },
         );
     }
@@ -452,6 +623,15 @@ fn job_summary(job_id: u64, job: &Job) -> Json {
             Json::Str(format!("{:016x}", job.spec.key.fingerprint())),
         ),
     ];
+    if !job.spec.key.fault.is_empty() {
+        fields.push(("fault", Json::Str(job.spec.key.fault.to_string())));
+    }
+    if job.attempts > 1 {
+        fields.push(("attempts", Json::Int(job.attempts as i64)));
+    }
+    if job.cancel_requested && !job.status.is_terminal() {
+        fields.push(("cancel_requested", Json::Bool(true)));
+    }
     if let Some(err) = &job.error {
         fields.push(("message", Json::Str(err.clone())));
     }
@@ -507,23 +687,33 @@ fn cancel(state: &AppState, job_id: u64) -> (u16, Json) {
     };
     match job.status {
         JobStatus::Queued => {
-            // Only a job still in the queue can be canceled; if a worker has
-            // already popped it, it is effectively running.
+            // A job still in the queue cancels immediately; if a worker has
+            // already popped it, it is effectively running — fall through to
+            // the cooperative path below.
             if state.queue.remove(job_id) {
                 job.status = JobStatus::Canceled;
                 state.stats.count(JobStatus::Canceled);
                 (200, job_summary(job_id, job))
             } else {
-                (
-                    409,
-                    error_body("not_cancelable", "job is already being executed"),
-                )
+                request_running_cancel(state, job_id, job)
             }
         }
-        JobStatus::Running => (409, error_body("not_cancelable", "job is running")),
+        JobStatus::Running => request_running_cancel(state, job_id, job),
         // Terminal states: cancellation is a no-op, report the state.
         _ => (200, job_summary(job_id, job)),
     }
+}
+
+/// Cancel a job a worker is executing: trip its interrupt flag and let the
+/// simulation stop at its next scheduler check. The response is 202 — the
+/// job transitions to `canceled` asynchronously, when the worker notices.
+fn request_running_cancel(state: &AppState, job_id: u64, job: &mut Job) -> (u16, Json) {
+    job.cancel_requested = true;
+    let interrupts = state.interrupts.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(flag) = interrupts.get(&job_id) {
+        flag.store(true, Ordering::SeqCst);
+    }
+    (202, job_summary(job_id, job))
 }
 
 fn healthz(state: &AppState) -> (u16, Json) {
@@ -579,6 +769,22 @@ fn stats(state: &AppState) -> (u16, Json) {
             (
                 "rejected_queue_full",
                 Json::Int(s.rejected_queue_full.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "retries",
+                Json::Int(s.retries.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "quarantined",
+                Json::Int(s.quarantined.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "watchdog_timeouts",
+                Json::Int(s.watchdog_timeouts.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "fault_jobs",
+                Json::Int(s.fault_jobs.load(Ordering::Relaxed) as i64),
             ),
             (
                 "total_cycles",

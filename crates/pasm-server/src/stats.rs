@@ -95,6 +95,15 @@ pub struct Stats {
     pub expired: AtomicU64,
     /// Submissions rejected with `queue_full`.
     pub rejected_queue_full: AtomicU64,
+    /// Worker attempts that panicked and were retried with backoff.
+    pub retries: AtomicU64,
+    /// Jobs whose worker panicked past the retry budget — the panic was
+    /// caught, the job failed, and the worker slot survived.
+    pub quarantined: AtomicU64,
+    /// Running jobs interrupted by the deadline watchdog.
+    pub watchdog_timeouts: AtomicU64,
+    /// Submissions that carried a non-empty fault plan.
+    pub fault_jobs: AtomicU64,
     /// Simulated cycles summed over completed jobs (cache hits included —
     /// this measures *served* simulation volume).
     pub total_cycles: AtomicU64,

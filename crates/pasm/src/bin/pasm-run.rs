@@ -1,28 +1,129 @@
-//! `pasm-run` — assemble a program file and run it on one simulated PE.
+//! `pasm-run` — assemble a program file and run it on one simulated PE, or
+//! run a matmul experiment (optionally on a faulted machine).
 //!
 //! A scratch-pad for the MC68000-style assembly dialect and the prototype's
 //! timing model:
 //!
 //! ```sh
 //! cargo run -p pasm --bin pasm-run -- program.s [--listing] [--stats] [--max-cycles N] [--trace out.jsonl]
+//! cargo run -p pasm --bin pasm-run -- --mode smimd --n 16 --p 8 [--seed S] [--fault box:1:0]
 //! ```
 //!
-//! The program runs in MIMD mode on PE 0 of a small machine (so DRAM wait
-//! states and refresh apply, as they would on the prototype). On `HALT` the
-//! tool prints the register file, the condition codes, and the cycle count;
-//! `--stats` adds the static timing analysis of `pasm_isa::analysis`;
-//! `--trace` writes the program's `MARK`-delimited phase spans as JSONL trace
-//! events (see `docs/OBSERVABILITY.md` for the schema).
+//! In file mode, the program runs in MIMD mode on PE 0 of a small machine
+//! (so DRAM wait states and refresh apply, as they would on the prototype).
+//! On `HALT` the tool prints the register file, the condition codes, and the
+//! cycle count; `--stats` adds the static timing analysis of
+//! `pasm_isa::analysis`; `--trace` writes the program's `MARK`-delimited
+//! phase spans as JSONL trace events (see `docs/OBSERVABILITY.md`).
+//!
+//! In `--mode` mode, the tool runs one paper-workload matrix multiplication
+//! on the 16-PE prototype, verifies the product, and — with `--fault` — also
+//! runs the fault-free baseline and reports the measured slowdown. All user
+//! errors (unknown mode, non-power-of-two `--p`, bad fault spec) exit with a
+//! clean one-line message, never a panic.
 
 use pasm_isa::analysis;
-use pasm_machine::{Machine, MachineConfig};
+use pasm_machine::{FaultPlan, Machine, MachineConfig};
+use std::hash::Hasher;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pasm-run <file.s> [--listing] [--stats] [--max-cycles N] [--trace out.jsonl]"
+        "usage: pasm-run <file.s> [--listing] [--stats] [--max-cycles N] [--trace out.jsonl]\n\
+                pasm-run --mode <serial|simd|mimd|smimd> --n N [--p P] [--seed S] [--fault SPEC]"
     );
     ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("pasm-run: {msg}");
+    ExitCode::FAILURE
+}
+
+/// The `--mode` path: one keyed matmul run on the prototype configuration,
+/// with every invalid input reported as a one-line error.
+fn run_experiment(
+    mode_str: &str,
+    n: Option<usize>,
+    p: usize,
+    seed: u64,
+    fault_spec: Option<&str>,
+    max_cycles: u64,
+) -> ExitCode {
+    let Some(mode) = pasm::Mode::parse(mode_str) else {
+        return fail(&format!(
+            "unknown --mode `{mode_str}` (expected serial, simd, mimd, or smimd)"
+        ));
+    };
+    let Some(n) = n else {
+        return fail("--mode requires --n (matrix size)");
+    };
+    let mut config = MachineConfig::prototype();
+    config.max_cycles = max_cycles;
+    if !p.is_power_of_two() || p == 0 {
+        return fail(&format!("--p must be a power of two, got {p}"));
+    }
+    if p > config.n_pes {
+        return fail(&format!(
+            "--p must be at most {} PEs, got {p}",
+            config.n_pes
+        ));
+    }
+    if mode != pasm::Mode::Serial && (n < p || !n.is_multiple_of(p)) {
+        return fail(&format!("--p {p} must divide --n {n}"));
+    }
+    let fault = match fault_spec {
+        None => FaultPlan::default(),
+        Some(spec) => match FaultPlan::parse(spec).and_then(|f| {
+            f.validate(config.n_pes)?;
+            Ok(f)
+        }) {
+            Ok(f) => f,
+            Err(e) => return fail(&format!("bad --fault `{spec}`: {e}")),
+        },
+    };
+    let key = pasm::ExperimentKey {
+        config,
+        mode,
+        params: pasm::Params::new(n, if mode == pasm::Mode::Serial { 1 } else { p }),
+        seed,
+        fault,
+    };
+    let result = match pasm::run_keyed(&key) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let (a, b) = pasm::paper_workload(n, seed);
+    let expect = a.multiply(&b);
+    let mut h = pasm_util::Fnv1a::new();
+    for r in 0..expect.n {
+        for c in 0..expect.n {
+            h.write(&expect.get(r, c).to_be_bytes());
+        }
+    }
+    let correct = h.finish() == result.c_checksum;
+    println!(
+        "{} n={} p={} seed={}: {} cycles ({:.3} ms), product {}",
+        mode,
+        n,
+        key.params.p,
+        seed,
+        result.cycles,
+        result.millis,
+        if correct { "correct" } else { "WRONG" },
+    );
+    if !result.fault.is_empty() {
+        let detour = result.pe_buckets[pasm_machine::Bucket::FaultDetour as usize];
+        println!(
+            "fault {}: baseline {} cycles, slowdown {:.4}, fault_detour {} cycles",
+            result.fault, result.baseline_cycles, result.slowdown, detour,
+        );
+    }
+    if correct {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -31,6 +132,11 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut trace = None;
     let mut max_cycles = 100_000_000u64;
+    let mut mode = None;
+    let mut n = None;
+    let mut p = 4usize;
+    let mut seed = pasm::figures::DEFAULT_SEED;
+    let mut fault = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -44,9 +150,32 @@ fn main() -> ExitCode {
                 Some(v) => max_cycles = v,
                 None => return usage(),
             },
+            "--mode" => match args.next() {
+                Some(m) => mode = Some(m),
+                None => return usage(),
+            },
+            "--n" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => n = Some(v),
+                None => return usage(),
+            },
+            "--p" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => p = v,
+                None => return usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--fault" => match args.next() {
+                Some(f) => fault = Some(f),
+                None => return usage(),
+            },
             _ if file.is_none() && !a.starts_with('-') => file = Some(a),
             _ => return usage(),
         }
+    }
+    if let Some(mode) = mode {
+        return run_experiment(&mode, n, p, seed, fault.as_deref(), max_cycles);
     }
     let Some(file) = file else { return usage() };
 

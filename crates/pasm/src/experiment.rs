@@ -1,13 +1,17 @@
 //! End-to-end experiment execution: build a machine, load a matmul variant,
 //! run it, and collect both the numeric result and the timing traces.
 
-use pasm_machine::{Machine, MachineConfig, RunError, RunResult, BUCKET_NAMES, N_BUCKETS};
+use pasm_machine::{
+    FaultPlan, Machine, MachineConfig, RunError, RunResult, BUCKET_NAMES, N_BUCKETS,
+};
 use pasm_prog::matmul::{self, mimd, select_vm, serial, simd, CommSync, MatmulParams};
 use pasm_prog::{Layout, Matrix};
 use pasm_util::json::{Json, ToJson};
 use pasm_util::{Fnv1a, SpanLog};
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// The four program variants of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,6 +133,11 @@ pub fn run_span_log(run: &RunResult) -> SpanLog {
 
 /// Load one matmul job onto a machine's virtual machine: data layout, network
 /// circuits, PE and MC programs. Returns the layout for result read-back.
+///
+/// Fails with [`RunError::Net`] when the ring circuits cannot be established —
+/// on a faulted network this is a real outcome, not a bug: a full-machine ring
+/// uses every interior stage completely, so an interior-box fault leaves no
+/// one-pass routing (the ESC permutation two-pass limit; see docs/FAULTS.md).
 fn load_job(
     machine: &mut Machine,
     mode: Mode,
@@ -136,19 +145,21 @@ fn load_job(
     vm: &pasm_prog::VirtualMachine,
     a: &Matrix,
     b: &Matrix,
-) -> Layout {
+) -> Result<Layout, RunError> {
     match mode {
         Mode::Serial => {
             let layout = Layout::serial(params.n);
             layout.load(machine, &vm.pes[..1], a, b);
             machine.load_pe_program(vm.pes[0], serial::pe_program(params));
             machine.load_mc_program(vm.mcs[0], serial::mc_program());
-            layout
+            Ok(layout)
         }
         Mode::Simd => {
             let layout = Layout::parallel(params.n, params.p);
             layout.load(machine, &vm.pes, a, b);
-            machine.connect_ring(&vm.pes).expect("ring circuits");
+            machine
+                .connect_ring(&vm.pes)
+                .map_err(|e| RunError::Net(e.to_string()))?;
             for &pe in &vm.pes {
                 machine.load_pe_program(pe, simd::pe_program());
             }
@@ -156,7 +167,7 @@ fn load_job(
             for &mc in &vm.mcs {
                 machine.load_mc_program(mc, mc_prog.clone());
             }
-            layout
+            Ok(layout)
         }
         Mode::Mimd | Mode::Smimd => {
             let sync = if mode == Mode::Mimd {
@@ -166,7 +177,9 @@ fn load_job(
             };
             let layout = Layout::parallel(params.n, params.p);
             layout.load(machine, &vm.pes, a, b);
-            machine.connect_ring(&vm.pes).expect("ring circuits");
+            machine
+                .connect_ring(&vm.pes)
+                .map_err(|e| RunError::Net(e.to_string()))?;
             let pe_prog = mimd::pe_program(params, sync);
             for &pe in &vm.pes {
                 machine.load_pe_program(pe, pe_prog.clone());
@@ -175,7 +188,7 @@ fn load_job(
             for &mc in &vm.mcs {
                 machine.load_mc_program(mc, mc_prog.clone());
             }
-            layout
+            Ok(layout)
         }
     }
 }
@@ -206,12 +219,69 @@ pub fn run_matmul_with_accounting(
     b: &Matrix,
     accounting: bool,
 ) -> Result<MatmulOutcome, RunError> {
+    run_matmul_opts(
+        cfg,
+        mode,
+        params,
+        a,
+        b,
+        &RunOptions {
+            accounting,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// Everything a matmul run can be parameterized with beyond mode, size and
+/// operands: cycle accounting, injected faults, and an external interrupt
+/// flag for cancellation/watchdog use.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Collect per-component [`pasm_machine::CycleAccount`]s (default on).
+    pub accounting: bool,
+    /// Faults to inject before circuits are established (default none).
+    pub fault: FaultPlan,
+    /// Cooperative stop flag, polled by the scheduler; setting it makes the
+    /// run end with [`RunError::Interrupted`].
+    pub interrupt: Option<Arc<AtomicBool>>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            accounting: true,
+            fault: FaultPlan::default(),
+            interrupt: None,
+        }
+    }
+}
+
+/// The fully-parameterized matmul runner: [`run_matmul`] plus fault
+/// injection and cooperative interruption (see [`RunOptions`]).
+///
+/// Faults are applied **before** circuit establishment, so the network
+/// reconfigures (bypass/enable the two cube₀ stages) and the ring allocator
+/// routes around the damage; PE fault models attach to the affected PEs.
+pub fn run_matmul_opts(
+    cfg: &MachineConfig,
+    mode: Mode,
+    params: MatmulParams,
+    a: &Matrix,
+    b: &Matrix,
+    opts: &RunOptions,
+) -> Result<MatmulOutcome, RunError> {
     assert_eq!(a.n, params.n);
     assert_eq!(b.n, params.n);
     let mut machine = Machine::new(cfg.clone());
-    machine.set_accounting(accounting);
+    machine.set_accounting(opts.accounting);
+    machine
+        .apply_fault_plan(&opts.fault)
+        .map_err(RunError::Net)?;
+    if let Some(flag) = &opts.interrupt {
+        machine.set_interrupt(Arc::clone(flag));
+    }
     let vm = select_vm(cfg, if mode == Mode::Serial { 1 } else { params.p });
-    let layout = load_job(&mut machine, mode, params, &vm, a, b);
+    let layout = load_job(&mut machine, mode, params, &vm, a, b)?;
     let run = machine.run()?;
     let c = layout.read_c(&machine, &vm.pes[..layout.p]);
     Ok(MatmulOutcome {
@@ -269,7 +339,7 @@ pub fn run_concurrent(cfg: &MachineConfig, jobs: &[Job]) -> Result<Vec<JobOutcom
             job.params.p
         };
         let vm = pasm_prog::matmul::select_vm_on_mcs(cfg, p, &job.mcs);
-        let layout = load_job(&mut machine, job.mode, job.params, &vm, &job.a, &job.b);
+        let layout = load_job(&mut machine, job.mode, job.params, &vm, &job.a, &job.b)?;
         loaded.push((job, vm, layout));
     }
     let run = machine.run()?;
@@ -323,6 +393,9 @@ pub struct ExperimentKey {
     pub params: MatmulParams,
     /// Seed of the paper workload (identity A, seeded uniform B).
     pub seed: u64,
+    /// Faults injected into the machine before the run (part of the identity:
+    /// a degraded network yields different — still correct — timings).
+    pub fault: FaultPlan,
 }
 
 impl ExperimentKey {
@@ -359,6 +432,14 @@ pub struct ExperimentResult {
     pub pe_buckets: [u64; N_BUCKETS],
     /// FNV-1a fingerprint of the product matrix (row-major words).
     pub c_checksum: u64,
+    /// Spelling of the injected fault plan (empty when fault-free).
+    pub fault: String,
+    /// Makespan of the fault-free run of the same key, when a fault was
+    /// injected and a baseline was measured alongside (0 otherwise).
+    pub baseline_cycles: u64,
+    /// `cycles / baseline_cycles` — measured degradation from the fault
+    /// (1.0 when fault-free or no baseline was run).
+    pub slowdown: f64,
 }
 
 impl ToJson for ExperimentResult {
@@ -386,6 +467,9 @@ impl ToJson for ExperimentResult {
             ),
             // Full-range u64: as hex text, since JSON numbers are i64/f64.
             ("c_checksum", Json::Str(format!("{:016x}", self.c_checksum))),
+            ("fault", Json::Str(self.fault.clone())),
+            ("baseline_cycles", self.baseline_cycles.to_json()),
+            ("slowdown", self.slowdown.to_json()),
         ])
     }
 }
@@ -418,16 +502,51 @@ impl ExperimentResult {
                 .map(|a| a.pe_bucket_totals())
                 .unwrap_or([0; N_BUCKETS]),
             c_checksum: h.finish(),
+            fault: String::new(),
+            baseline_cycles: 0,
+            slowdown: 1.0,
         }
     }
 }
 
 /// Run the experiment a key describes on the paper workload: the end-to-end
 /// unit of work of the `pasm-server` simulation service.
+///
+/// When the key carries a fault plan, the fault-free run of the same key is
+/// measured alongside and the result reports the fault spelling, the
+/// baseline makespan, and the measured slowdown.
 pub fn run_keyed(key: &ExperimentKey) -> Result<ExperimentResult, RunError> {
+    run_keyed_with_interrupt(key, None)
+}
+
+/// [`run_keyed`] with a cooperative stop flag (cancellation, watchdog). The
+/// flag covers the baseline run too, so a deadline bounds the whole job.
+pub fn run_keyed_with_interrupt(
+    key: &ExperimentKey,
+    interrupt: Option<Arc<AtomicBool>>,
+) -> Result<ExperimentResult, RunError> {
     let (a, b) = paper_workload(key.params.n, key.seed);
-    let out = run_matmul(&key.config, key.mode, key.params, &a, &b)?;
-    Ok(ExperimentResult::from_outcome(&out, key.seed))
+    let opts = RunOptions {
+        accounting: true,
+        fault: key.fault.clone(),
+        interrupt: interrupt.clone(),
+    };
+    let out = run_matmul_opts(&key.config, key.mode, key.params, &a, &b, &opts)?;
+    let mut result = ExperimentResult::from_outcome(&out, key.seed);
+    if !key.fault.is_empty() {
+        result.fault = key.fault.to_string();
+        let base_opts = RunOptions {
+            accounting: true,
+            fault: FaultPlan::default(),
+            interrupt,
+        };
+        let base = run_matmul_opts(&key.config, key.mode, key.params, &a, &b, &base_opts)?;
+        result.baseline_cycles = base.cycles;
+        if base.cycles > 0 {
+            result.slowdown = result.cycles as f64 / base.cycles as f64;
+        }
+    }
+    Ok(result)
 }
 
 /// Standard workload of the paper: identity A, uniform-random B.
@@ -459,7 +578,9 @@ pub fn run_reduction(
     let params = ReduceParams { k, p };
     let vm = select_vm(cfg, p);
     let mut machine = Machine::new(cfg.clone());
-    machine.connect_ring(&vm.pes).expect("ring circuits");
+    machine
+        .connect_ring(&vm.pes)
+        .map_err(|e| RunError::Net(e.to_string()))?;
     for (l, &pe) in vm.pes.iter().enumerate() {
         machine.pe_mem_mut(pe).load_words(VEC_BASE, &blocks[l]);
     }

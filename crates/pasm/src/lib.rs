@@ -31,11 +31,15 @@ pub mod report;
 pub mod sweep;
 
 pub use experiment::{
-    paper_workload, run_concurrent, run_keyed, run_matmul, run_matmul_verified,
-    run_matmul_with_accounting, run_reduction, run_span_log, ExperimentKey, ExperimentResult, Job,
-    JobOutcome, MatmulOutcome, Mode, Params, ReduceOutcome,
+    paper_workload, run_concurrent, run_keyed, run_keyed_with_interrupt, run_matmul,
+    run_matmul_opts, run_matmul_verified, run_matmul_with_accounting, run_reduction, run_span_log,
+    ExperimentKey, ExperimentResult, Job, JobOutcome, MatmulOutcome, Mode, Params, ReduceOutcome,
+    RunOptions,
 };
 pub use metrics::{efficiency, speedup, Breakdown};
-pub use pasm_machine::{Machine, MachineConfig, ReleaseMode, RunResult};
+pub use pasm_machine::{
+    single_faults, FaultPlan, Machine, MachineConfig, NetFault, PeFault, PeFaultSpec, ReleaseMode,
+    RunResult,
+};
 pub use pasm_prog::{CommSync, Matrix};
 pub use sweep::{par_map, WorkerPool};

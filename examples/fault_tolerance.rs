@@ -1,13 +1,14 @@
 //! The Extra-Stage Cube's reason for existing: tolerate any single interchange
 //! box fault. This example breaks boxes in each kind of stage, applies the ESC
 //! reconfiguration rules, and shows the network still routes every pair — then
-//! runs a full matrix multiplication over a degraded network.
+//! runs a full matrix multiplication over a degraded network and reports the
+//! measured price of the fault (see `docs/FAULTS.md`).
 //!
 //! ```sh
 //! cargo run --release --example fault_tolerance
 //! ```
 
-use pasm::{Machine, MachineConfig, Params};
+use pasm::{ExperimentKey, FaultPlan, Machine, MachineConfig, Params};
 use pasm_net::EscNetwork;
 use pasm_prog::matmul::{mimd, select_vm};
 use pasm_prog::{CommSync, Layout, Matrix};
@@ -69,4 +70,25 @@ fn main() {
         if correct { "VERIFIED" } else { "WRONG" }
     );
     assert!(correct);
+
+    // The same experiment through the keyed runner: a `FaultPlan` in the key
+    // makes `run_keyed` also run the fault-free twin and report the price.
+    println!("\nMeasured cost of the fault (keyed runner, `fault` in the key):");
+    let key = ExperimentKey {
+        config: cfg,
+        mode: pasm::Mode::Smimd,
+        params,
+        seed: 1988,
+        fault: FaultPlan::parse("box:2:5").unwrap(),
+    };
+    let result = pasm::run_keyed(&key).expect("faulted keyed run");
+    println!(
+        "fault {}: {} cycles vs {} fault-free -> slowdown {:.4}, {} cycles in the fault_detour bucket",
+        result.fault,
+        result.cycles,
+        result.baseline_cycles,
+        result.slowdown,
+        result.pe_buckets[pasm_machine::Bucket::FaultDetour as usize],
+    );
+    assert!(result.slowdown >= 1.0);
 }

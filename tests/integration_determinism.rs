@@ -1,0 +1,96 @@
+//! Determinism regression (ISSUE 4 satellite): the simulator is a pure
+//! function of (config, program, seed). Two runs of an identical key must
+//! agree byte for byte — same cycle count, same per-bucket cycle accounts,
+//! same product checksum — with accounting on or off, fault-free or faulted.
+//!
+//! This is the property the `pasm-server` result cache and the experiment
+//! key fingerprint rely on: if it drifts, cached results silently diverge
+//! from fresh ones.
+
+use pasm::{
+    paper_workload, run_keyed, run_matmul_opts, ExperimentKey, FaultPlan, MachineConfig, Mode,
+    NetFault, RunOptions,
+};
+
+fn key(mode: Mode, fault: FaultPlan) -> ExperimentKey {
+    ExperimentKey {
+        config: MachineConfig::prototype(),
+        mode,
+        params: pasm::Params::new(8, if mode == Mode::Serial { 1 } else { 4 }),
+        seed: 31337,
+        fault,
+    }
+}
+
+#[test]
+fn identical_keys_give_identical_results() {
+    for mode in [Mode::Serial, Mode::Simd, Mode::Mimd, Mode::Smimd] {
+        let first = run_keyed(&key(mode, FaultPlan::default())).expect("first run");
+        let second = run_keyed(&key(mode, FaultPlan::default())).expect("second run");
+        // `ExperimentResult` is `PartialEq` over every field: cycles, millis,
+        // the full `pe_buckets` array, checksum, slowdown.
+        assert_eq!(first, second, "{mode} runs diverged");
+        assert!(first.c_checksum != 0, "checksum populated");
+    }
+}
+
+#[test]
+fn faulted_runs_are_deterministic_too() {
+    let fault = FaultPlan::net_single(NetFault::Link {
+        boundary: 2,
+        line: 5,
+    });
+    let first = run_keyed(&key(Mode::Smimd, fault.clone())).expect("first faulted run");
+    let second = run_keyed(&key(Mode::Smimd, fault)).expect("second faulted run");
+    assert_eq!(first, second, "faulted runs diverged");
+    assert_eq!(first.fault, "link:2:5");
+    assert!(first.slowdown > 1.0, "rerouted link fault shows slowdown");
+}
+
+#[test]
+fn accounting_never_changes_the_simulation() {
+    let cfg = MachineConfig::prototype();
+    let (a, b) = paper_workload(8, 31337);
+    for mode in [Mode::Simd, Mode::Mimd, Mode::Smimd] {
+        let with = run_matmul_opts(
+            &cfg,
+            mode,
+            pasm::Params::new(8, 4),
+            &a,
+            &b,
+            &RunOptions::default(),
+        )
+        .expect("accounted run");
+        let without = run_matmul_opts(
+            &cfg,
+            mode,
+            pasm::Params::new(8, 4),
+            &a,
+            &b,
+            &RunOptions {
+                accounting: false,
+                ..RunOptions::default()
+            },
+        )
+        .expect("unaccounted run");
+        assert_eq!(with.cycles, without.cycles, "{mode}: observer effect");
+        assert_eq!(with.c, without.c, "{mode}: product differs");
+        assert!(with.run.accounts.is_some() && without.run.accounts.is_none());
+
+        // And two unaccounted runs agree with each other.
+        let again = run_matmul_opts(
+            &cfg,
+            mode,
+            pasm::Params::new(8, 4),
+            &a,
+            &b,
+            &RunOptions {
+                accounting: false,
+                ..RunOptions::default()
+            },
+        )
+        .expect("second unaccounted run");
+        assert_eq!(again.cycles, without.cycles);
+        assert_eq!(again.c, without.c);
+    }
+}

@@ -1,0 +1,302 @@
+//! Fault-tolerance tests of the `pasm-server` service (ISSUE 4): panic
+//! quarantine, retry-with-backoff, the deadline watchdog, cooperative
+//! cancellation of running jobs, and fault-plan jobs over HTTP.
+//!
+//! The panic paths are driven by the test-only `chaos` member of the submit
+//! body, which makes a worker attempt panic deliberately without touching
+//! the simulation itself (and is excluded from the cache key).
+
+use pasm_server::{Server, ServerConfig};
+use pasm_util::{json, Json};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn request_raw(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line: {raw:?}"));
+    let (head, payload) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    (status, head.to_string(), payload.to_string())
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
+    let (status, _, payload) = request_raw(addr, method, path, body);
+    let parsed = json::parse(&payload).unwrap_or_else(|e| panic!("bad JSON body {payload:?}: {e}"));
+    (status, parsed)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Json) {
+    request(addr, "GET", path, None)
+}
+
+fn submit(addr: SocketAddr, body: &str) -> (u16, Json) {
+    request(addr, "POST", "/submit", Some(body))
+}
+
+fn job_id(resp: &Json) -> u64 {
+    resp.get("job_id")
+        .and_then(Json::as_u64)
+        .expect("job_id in response")
+}
+
+fn status_str(resp: &Json) -> String {
+    resp.get("status")
+        .and_then(Json::as_str)
+        .expect("status in response")
+        .to_string()
+}
+
+fn message(resp: &Json) -> String {
+    resp.get("message")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+fn stat(addr: SocketAddr, key: &str) -> u64 {
+    let (code, body) = get(addr, "/stats");
+    assert_eq!(code, 200);
+    body.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stat {key} in {body:?}"))
+}
+
+fn await_terminal(addr: SocketAddr, id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (code, body) = get(addr, &format!("/status/{id}"));
+        assert_eq!(code, 200, "status of known job: {body:?}");
+        match status_str(&body).as_str() {
+            "queued" | "running" => {
+                assert!(Instant::now() < deadline, "job {id} did not finish in time");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            _ => return body,
+        }
+    }
+}
+
+fn start(workers: usize) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth: 64,
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+/// A deliberately panicking job is retried, then quarantined as `failed`
+/// with the panic recorded — and the worker pool keeps its full capacity.
+#[test]
+fn panicking_job_is_quarantined_and_the_pool_survives() {
+    let mut server = start(2);
+    let addr = server.addr();
+
+    let (code, resp) = submit(
+        addr,
+        r#"{"mode":"simd","n":4,"p":4,"seed":901,"chaos":{"kind":"panic"}}"#,
+    );
+    assert_eq!(code, 202, "{resp:?}");
+    let id = job_id(&resp);
+    let done = await_terminal(addr, id);
+    assert_eq!(status_str(&done), "failed", "{done:?}");
+    assert!(
+        message(&done).contains("panicked"),
+        "panic recorded in the error detail: {done:?}"
+    );
+    // 3 attempts: 2 retries with backoff, then quarantine.
+    assert_eq!(done.get("attempts").and_then(Json::as_u64), Some(3));
+    assert_eq!(stat(addr, "quarantined"), 1);
+    assert_eq!(stat(addr, "retries"), 2);
+    let (code, gone) = get(addr, &format!("/result/{id}"));
+    assert_eq!(code, 500, "no result for a quarantined job: {gone:?}");
+    assert_eq!(gone.get("error").and_then(Json::as_str), Some("job_failed"));
+
+    // The quarantine counters are on /metrics too.
+    let (code, _, text) = request_raw(addr, "GET", "/metrics", None);
+    assert_eq!(code, 200);
+    assert!(text.contains("pasm_jobs_quarantined_total 1"), "{text}");
+    assert!(text.contains("pasm_job_retries_total 2"), "{text}");
+
+    // Both workers still serve: more simultaneous jobs than one worker
+    // could handle in order all complete.
+    let ids: Vec<u64> = (0..6)
+        .map(|i| {
+            let body = format!(r#"{{"mode":"simd","n":4,"p":4,"seed":{}}}"#, 1000 + i);
+            let (code, resp) = submit(addr, &body);
+            assert_eq!(code, 202, "{resp:?}");
+            job_id(&resp)
+        })
+        .collect();
+    for id in ids {
+        assert_eq!(status_str(&await_terminal(addr, id)), "done");
+    }
+    server.shutdown();
+}
+
+/// A transiently panicking job (chaos `times: 2`) succeeds on the third
+/// attempt, with the retries visible in the summary and the counters.
+#[test]
+fn transient_panics_are_retried_to_success() {
+    let mut server = start(1);
+    let addr = server.addr();
+
+    let (code, resp) = submit(
+        addr,
+        r#"{"mode":"simd","n":4,"p":4,"seed":902,"chaos":{"kind":"transient","times":2}}"#,
+    );
+    assert_eq!(code, 202, "{resp:?}");
+    let done = await_terminal(addr, job_id(&resp));
+    assert_eq!(status_str(&done), "done", "{done:?}");
+    assert_eq!(done.get("attempts").and_then(Json::as_u64), Some(3));
+    assert_eq!(stat(addr, "retries"), 2);
+    assert_eq!(stat(addr, "quarantined"), 0);
+    assert_eq!(stat(addr, "completed"), 1);
+    server.shutdown();
+}
+
+/// The watchdog interrupts a running job past its wall-clock deadline and
+/// records a deadline failure (not a crash, not a hung worker).
+#[test]
+fn watchdog_fails_a_running_job_past_its_deadline() {
+    let mut server = start(1);
+    let addr = server.addr();
+
+    // Big enough that the simulation runs for seconds if never interrupted.
+    let (code, resp) = submit(
+        addr,
+        r#"{"mode":"mimd","n":128,"p":4,"seed":903,"deadline_ms":50}"#,
+    );
+    assert_eq!(code, 202, "{resp:?}");
+    let done = await_terminal(addr, job_id(&resp));
+    assert_eq!(status_str(&done), "failed", "{done:?}");
+    assert!(
+        message(&done).contains("deadline exceeded"),
+        "watchdog recorded the deadline: {done:?}"
+    );
+    assert_eq!(stat(addr, "watchdog_timeouts"), 1);
+
+    // The worker is free again.
+    let (_, resp) = submit(addr, r#"{"mode":"simd","n":4,"p":4,"seed":904}"#);
+    assert_eq!(status_str(&await_terminal(addr, job_id(&resp))), "done");
+    server.shutdown();
+}
+
+/// Canceling a *running* job interrupts the simulation cooperatively,
+/// releases the worker slot, and leaves the counters consistent.
+#[test]
+fn cancel_while_running_releases_the_worker_slot() {
+    let mut server = start(1);
+    let addr = server.addr();
+
+    let (code, resp) = submit(addr, r#"{"mode":"mimd","n":256,"p":4,"seed":905}"#);
+    assert_eq!(code, 202, "{resp:?}");
+    let id = job_id(&resp);
+
+    // Wait until the single worker has actually claimed it.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = get(addr, &format!("/status/{id}"));
+        if status_str(&body) == "running" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Cooperative cancel: accepted (202), terminal state follows shortly.
+    let (code, resp) = request(addr, "POST", &format!("/cancel/{id}"), None);
+    assert_eq!(code, 202, "{resp:?}");
+    assert_eq!(
+        resp.get("cancel_requested").and_then(Json::as_bool),
+        Some(true)
+    );
+    let done = await_terminal(addr, id);
+    assert_eq!(status_str(&done), "canceled", "{done:?}");
+    assert!(
+        message(&done).contains("canceled while running"),
+        "{done:?}"
+    );
+    let (code, gone) = get(addr, &format!("/result/{id}"));
+    assert_eq!(code, 409, "canceled job has no result: {gone:?}");
+
+    // The slot is free and the counters add up.
+    let (_, resp) = submit(addr, r#"{"mode":"simd","n":4,"p":4,"seed":906}"#);
+    assert_eq!(status_str(&await_terminal(addr, job_id(&resp))), "done");
+    assert_eq!(stat(addr, "canceled"), 1);
+    assert_eq!(stat(addr, "completed"), 1);
+    assert_eq!(stat(addr, "failed"), 0);
+    assert_eq!(stat(addr, "submitted"), 2);
+    server.shutdown();
+}
+
+/// Fault-plan jobs run end to end over HTTP: the result reports the fault,
+/// the fault-free baseline, and a slowdown attributed to rerouting; bad
+/// fault specs are client errors.
+#[test]
+fn fault_plan_jobs_report_their_slowdown() {
+    let mut server = start(2);
+    let addr = server.addr();
+
+    // An interior box fault: rerouted, so the job must be slower than its
+    // fault-free twin.
+    let (code, resp) = submit(
+        addr,
+        r#"{"mode":"smimd","n":8,"p":8,"seed":907,"fault":"box:1:0"}"#,
+    );
+    assert_eq!(code, 202, "{resp:?}");
+    let id = job_id(&resp);
+    let done = await_terminal(addr, id);
+    assert_eq!(status_str(&done), "done", "{done:?}");
+    assert_eq!(done.get("fault").and_then(Json::as_str), Some("box:1:0"));
+
+    let (code, body) = get(addr, &format!("/result/{id}"));
+    assert_eq!(code, 200, "{body:?}");
+    let result = body.get("result").expect("result payload");
+    assert_eq!(result.get("fault").and_then(Json::as_str), Some("box:1:0"));
+    let baseline = result
+        .get("baseline_cycles")
+        .and_then(Json::as_u64)
+        .expect("baseline_cycles");
+    let cycles = result.get("cycles").and_then(Json::as_u64).expect("cycles");
+    let slowdown = result
+        .get("slowdown")
+        .and_then(Json::as_f64)
+        .expect("slowdown");
+    assert!(baseline > 0 && cycles > baseline, "{result:?}");
+    assert!(slowdown > 1.0, "rerouted fault slows the run: {result:?}");
+    assert_eq!(stat(addr, "fault_jobs"), 1);
+
+    // Malformed fault specs are 400s, not failed jobs.
+    for bad in [
+        r#"{"mode":"simd","n":4,"p":4,"fault":"warp:1"}"#,
+        r#"{"mode":"simd","n":4,"p":4,"fault":"dead:99"}"#,
+        r#"{"mode":"simd","n":4,"p":4,"fault":42}"#,
+    ] {
+        let (code, resp) = submit(addr, bad);
+        assert_eq!(code, 400, "{resp:?}");
+    }
+    server.shutdown();
+}
