@@ -25,6 +25,12 @@ cargo run --release -q -p bench --bin breakdown -- --quick >/dev/null
 echo "==> faultsweep smoke-run (4-PE single-fault theorem, all 14 faults)"
 cargo run --release -q -p bench --bin faultsweep -- --quick >/dev/null
 
+echo "==> kernelsweep smoke-run (per-kernel mode placement, p=4)"
+cargo run --release -q -p bench --bin kernelsweep -- --quick >/dev/null
+
+echo "==> kernel registry integration tests (all kernels x modes x p)"
+cargo test -q -p pasm --test integration_kernels --test integration_determinism
+
 echo "==> worker panic quarantine + cancel-while-running integration test"
 cargo test -q -p pasm-server --test integration_server_faults
 

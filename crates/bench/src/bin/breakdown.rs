@@ -173,7 +173,20 @@ fn main() {
          variances, so their MAC-loop durations differ."
     );
 
-    bench::save_json("breakdown", &rows);
+    bench::save_bench_json(
+        "breakdown",
+        Json::obj(vec![
+            ("preset", Json::Str("prototype".to_string())),
+            ("quick", Json::Bool(quick)),
+            ("n", Json::Int(n as i64)),
+            ("p", Json::Int(p as i64)),
+            ("seed", Json::Int(seed as i64)),
+        ]),
+        Json::obj(vec![(
+            "modes",
+            Json::Arr(rows.iter().map(ToJson::to_json).collect()),
+        )]),
+    );
 
     if !failures.is_empty() {
         for f in &failures {

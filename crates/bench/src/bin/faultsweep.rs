@@ -157,6 +157,125 @@ fn sweep_cell(cfg: &MachineConfig, n: usize, p: usize, mode: Mode, seed: u64) ->
     cell
 }
 
+/// Aggregate of one (kernel, mode) cell of the registry-wide sweep: every
+/// tolerable single network fault, each output verified against the
+/// kernel's scalar host reference.
+struct KernelCell {
+    kernel: &'static str,
+    mode: Mode,
+    baseline_cycles: u64,
+    faults: usize,
+    rerouted: usize,
+    hidden: usize,
+    max_slowdown: f64,
+    violations: Vec<String>,
+}
+
+impl ToJson for KernelCell {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kernel", Json::Str(self.kernel.to_string())),
+            ("mode", Json::Str(self.mode.to_string())),
+            ("baseline_cycles", Json::Int(self.baseline_cycles as i64)),
+            ("faults", Json::Int(self.faults as i64)),
+            ("rerouted", Json::Int(self.rerouted as i64)),
+            ("hidden", Json::Int(self.hidden as i64)),
+            ("max_slowdown", Json::Float(self.max_slowdown)),
+            ("violations", Json::Int(self.violations.len() as i64)),
+        ])
+    }
+}
+
+/// Sweep one registered kernel through every single fault in one mode. The
+/// per-fault checks are the theorem's kernel-agnostic core: the output is
+/// always correct; a rerouted fault charges `fault_detour` and never speeds
+/// the run up; a hidden fault costs exactly nothing. (The strict per-run
+/// slowdown and aggregate checks stay with the matmul sweep above, whose
+/// transfer volume makes them sharp.)
+fn kernel_cell(
+    cfg: &MachineConfig,
+    kernel: &'static dyn pasm::Kernel,
+    n: usize,
+    p: usize,
+    mode: Mode,
+    seed: u64,
+) -> KernelCell {
+    let m = cfg.n_pes.max(2).trailing_zeros();
+    let input = kernel.generate(n, seed);
+    let params = Params::new(n, p);
+    let base = pasm::run_kernel_opts(cfg, kernel, mode, params, &input, &RunOptions::default())
+        .expect("fault-free kernel baseline");
+    let mut cell = KernelCell {
+        kernel: kernel.name(),
+        mode,
+        baseline_cycles: base.cycles,
+        faults: 0,
+        rerouted: 0,
+        hidden: 0,
+        max_slowdown: 1.0,
+        violations: Vec::new(),
+    };
+    if let Err(e) = base.verify(&input) {
+        cell.violations
+            .push(format!("{} {mode}: fault-free run: {e}", kernel.name()));
+        return cell;
+    }
+    for fault in single_faults(cfg.n_pes.max(2)) {
+        cell.faults += 1;
+        let opts = RunOptions {
+            fault: FaultPlan::net_single(fault),
+            ..RunOptions::default()
+        };
+        let tag = format!("{} {mode} fault {fault}", kernel.name());
+        let out = match pasm::run_kernel_opts(cfg, kernel, mode, params, &input, &opts) {
+            Ok(out) => out,
+            Err(e) => {
+                cell.violations.push(format!("{tag}: run failed: {e}"));
+                continue;
+            }
+        };
+        if let Err(e) = out.verify(&input) {
+            cell.violations.push(format!("{tag}: {e}"));
+        }
+        let detour = out
+            .run
+            .accounts
+            .as_ref()
+            .map(|acc| acc.pe_bucket_totals()[Bucket::FaultDetour as usize])
+            .unwrap_or(0);
+        cell.max_slowdown = cell
+            .max_slowdown
+            .max(out.cycles as f64 / base.cycles as f64);
+        if fault.reroutes(m) {
+            cell.rerouted += 1;
+            if detour == 0 {
+                cell.violations
+                    .push(format!("{tag}: rerouted fault charged no fault_detour"));
+            }
+            if out.cycles < base.cycles {
+                cell.violations.push(format!(
+                    "{tag}: rerouted fault sped the run up ({} vs {} cycles)",
+                    out.cycles, base.cycles
+                ));
+            }
+        } else {
+            cell.hidden += 1;
+            if detour != 0 {
+                cell.violations.push(format!(
+                    "{tag}: hidden fault charged {detour} detour cycles"
+                ));
+            }
+            if out.cycles != base.cycles {
+                cell.violations.push(format!(
+                    "{tag}: hidden fault changed the cycle count ({} vs {})",
+                    out.cycles, base.cycles
+                ));
+            }
+        }
+    }
+    cell
+}
+
 fn main() -> ExitCode {
     let quick = bench::quick_mode();
     // Quick: a 4-PE machine (14 single faults) — the CI smoke sweep. Two
@@ -190,6 +309,20 @@ fn main() -> ExitCode {
         .flat_map(|&mode| (0..n_seeds).map(move |s| (mode, pasm::figures::DEFAULT_SEED + s)))
         .collect();
     let cells = par_map(cases, |&(mode, seed)| sweep_cell(&cfg, n, p, mode, seed));
+
+    // Registry-wide sweep: every other kernel through the same faults, one
+    // seed, small per-PE blocks (the fault footprint is the ring circuits,
+    // which every kernel shares with matmul).
+    let kn = if quick { 8 } else { 32 };
+    let kernel_cases: Vec<(&'static dyn pasm::Kernel, Mode)> = pasm::kernels::kernels()
+        .iter()
+        .copied()
+        .filter(|k| k.name() != pasm::MATMUL)
+        .flat_map(|k| MODES.iter().map(move |&mode| (k, mode)))
+        .collect();
+    let kernel_cells = par_map(kernel_cases, |&(k, mode)| {
+        kernel_cell(&cfg, k, kn, p, mode, pasm::figures::DEFAULT_SEED)
+    });
 
     let mut violations = 0usize;
     for cell in &cells {
@@ -228,9 +361,47 @@ fn main() -> ExitCode {
             },
         );
     }
-    bench::save_json(
+    for cell in &kernel_cells {
+        for v in &cell.violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        violations += cell.violations.len();
+        println!(
+            "  {:>7} {:>6}: {} faulted runs ({} rerouted, {} hidden), {}, max slowdown {:.4}",
+            cell.kernel,
+            cell.mode,
+            cell.faults,
+            cell.rerouted,
+            cell.hidden,
+            if cell.violations.is_empty() {
+                "all correct"
+            } else {
+                "NOT ALL CORRECT"
+            },
+            cell.max_slowdown,
+        );
+    }
+    bench::save_bench_json(
         "faultsweep",
-        &Json::Arr(cells.iter().map(|c| c.to_json()).collect()),
+        Json::obj(vec![
+            ("quick", Json::Bool(quick)),
+            ("n_pes", Json::Int(cfg.n_pes as i64)),
+            ("n", Json::Int(n as i64)),
+            ("p", Json::Int(p as i64)),
+            ("seeds", Json::Int(n_seeds as i64)),
+            ("faults", Json::Int(faults as i64)),
+        ]),
+        Json::obj(vec![
+            (
+                "cells",
+                Json::Arr(cells.iter().map(|c| c.to_json()).collect()),
+            ),
+            (
+                "kernel_cells",
+                Json::Arr(kernel_cells.iter().map(|c| c.to_json()).collect()),
+            ),
+            ("violations", Json::Int(violations as i64)),
+        ]),
     );
 
     if violations == 0 {

@@ -3,7 +3,7 @@
 //! `pasm::report`) and also drops the raw rows as JSON under
 //! `bench-results/` for EXPERIMENTS.md bookkeeping.
 
-use pasm_util::ToJson;
+use pasm_util::{Json, ToJson};
 use std::fs;
 use std::path::PathBuf;
 
@@ -21,6 +21,27 @@ pub fn save_json<T: ToJson>(name: &str, rows: &T) {
     let path = results_dir().join(format!("{name}.json"));
     fs::write(&path, rows.to_json().pretty()).expect("write results");
     eprintln!("(raw rows written to {})", path.display());
+}
+
+/// Schema of the top-level `BENCH_*.json` trajectory files. Bump when the
+/// document shape (not the metric values) changes.
+pub const BENCH_SCHEMA_VERSION: i64 = 1;
+
+/// Serialize one benchmark document to `BENCH_<name>.json` at the repository
+/// root with the stable cross-PR schema
+/// `{name, config, metrics{…}, schema_version}`, so successive PRs can diff
+/// the perf trajectory mechanically. `config` records what was run (sizes,
+/// machine preset, `--quick`), `metrics` the measured numbers.
+pub fn save_bench_json(name: &str, config: Json, metrics: Json) {
+    let doc = Json::obj(vec![
+        ("name", Json::Str(name.to_string())),
+        ("config", config),
+        ("metrics", metrics),
+        ("schema_version", Json::Int(BENCH_SCHEMA_VERSION)),
+    ]);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../BENCH_{name}.json"));
+    fs::write(&path, doc.pretty()).expect("write BENCH json");
+    eprintln!("(benchmark doc written to {})", path.display());
 }
 
 /// `--quick` on the command line caps the problem-size sweep for smoke runs.

@@ -1,0 +1,311 @@
+//! Cycle-formula coverage for the instruction paths the `pasm-kernels`
+//! workloads lean on — compare-exchange (bitonic sort) and shift-based
+//! indexing (image smoothing, sign-mask extraction) — asserting the same
+//! MC68000 user's-manual tables the matmul experiments are built on.
+//!
+//! The sequences below mirror the generated kernel code instruction for
+//! instruction (see `pasm-kernels/src/bitonic.rs` and `smooth.rs`), so a
+//! timing-model regression that would silently shift the kernelsweep
+//! results fails here with the exact formula that moved.
+
+use pasm_isa::analysis::{block_bounds, instr_bounds, is_data_dependent};
+use pasm_isa::reg::{AddrReg::*, DataReg::*};
+use pasm_isa::timing::{base_cycles, bcc_cycles, dbra_cycles, shift_cycles, ExecCtx};
+use pasm_isa::{Cond, Ea, Instr, ShiftCount, ShiftKind, Size};
+
+fn taken() -> ExecCtx {
+    ExecCtx {
+        branch_taken: true,
+        ..Default::default()
+    }
+}
+
+fn not_taken() -> ExecCtx {
+    ExecCtx {
+        branch_taken: false,
+        ..Default::default()
+    }
+}
+
+/// The branchy MIMD compare-exchange: fetch both byte addresses from the
+/// comparator table, load, compare, and swap through memory only when out
+/// of order. Table 8-2/8-4 composition: MOVEA.W (An)+ = 8, MOVE.W (An),Dn
+/// = 8, CMP.W Dn,Dm = 4, MOVE.W Dn,(An) = 8.
+#[test]
+fn branchy_compare_exchange_path_cycles() {
+    let ctx = ExecCtx::default();
+    let fetch = Instr::Movea {
+        size: Size::Word,
+        src: Ea::PostInc(A3),
+        dst: A0,
+    };
+    assert_eq!(base_cycles(&fetch, ctx), 8, "MOVEA.W (A3)+,A0");
+    let load = Instr::Move {
+        size: Size::Word,
+        src: Ea::Ind(A0),
+        dst: Ea::D(D0),
+    };
+    assert_eq!(base_cycles(&load, ctx), 8, "MOVE.W (A0),D0");
+    let cmp = Instr::Cmp {
+        size: Size::Word,
+        src: Ea::D(D0),
+        dst: D1,
+    };
+    assert_eq!(base_cycles(&cmp, ctx), 4, "CMP.W D0,D1");
+    let skip = Instr::Bcc {
+        cond: Cond::Cc,
+        target: 0,
+    };
+    assert_eq!(base_cycles(&skip, taken()), 10, "Bcc taken");
+    assert_eq!(base_cycles(&skip, not_taken()), 12, "Bcc not taken");
+    let store = Instr::Move {
+        size: Size::Word,
+        src: Ea::D(D1),
+        dst: Ea::Ind(A0),
+    };
+    assert_eq!(base_cycles(&store, ctx), 8, "MOVE.W D1,(A0)");
+
+    // Whole-comparator asymmetry: the in-order path pays CMP + taken branch
+    // (14); the swap path pays CMP + fall-through + two memory stores (32).
+    // This 18-cycle data dependence is exactly what MIMD keeps private and
+    // SIMD lockstep would equalize at the max.
+    let in_order = 4 + bcc_cycles(true);
+    let swap = 4 + bcc_cycles(false) + 2 * 8;
+    assert_eq!(in_order, 14);
+    assert_eq!(swap, 32);
+    assert!(is_data_dependent(&skip));
+    assert_eq!(instr_bounds(&skip).spread(), 2);
+}
+
+/// The branch-free SIMD compare-exchange (sign-mask + XOR swap) must be
+/// *constant time over all data*: `block_bounds` min == max, and none of
+/// its instructions is data-dependent — that is what makes it broadcastable
+/// without per-PE drift.
+#[test]
+fn branch_free_compare_exchange_is_constant_time() {
+    let body = [
+        Instr::Movea {
+            size: Size::Word,
+            src: Ea::PostInc(A3),
+            dst: A0,
+        },
+        Instr::Movea {
+            size: Size::Word,
+            src: Ea::PostInc(A3),
+            dst: A1,
+        },
+        Instr::Move {
+            size: Size::Word,
+            src: Ea::Ind(A0),
+            dst: Ea::D(D0),
+        },
+        Instr::Move {
+            size: Size::Word,
+            src: Ea::Ind(A1),
+            dst: Ea::D(D1),
+        },
+        Instr::Move {
+            size: Size::Word,
+            src: Ea::D(D1),
+            dst: Ea::D(D2),
+        },
+        Instr::Sub {
+            size: Size::Word,
+            src: Ea::D(D0),
+            dst: D2,
+        },
+        Instr::Shift {
+            kind: ShiftKind::Asr,
+            size: Size::Word,
+            count: ShiftCount::Imm(8),
+            dst: D2,
+        },
+        Instr::Shift {
+            kind: ShiftKind::Asr,
+            size: Size::Word,
+            count: ShiftCount::Imm(7),
+            dst: D2,
+        },
+        Instr::Move {
+            size: Size::Word,
+            src: Ea::D(D0),
+            dst: Ea::D(D3),
+        },
+        Instr::Eor {
+            size: Size::Word,
+            src: D1,
+            dst: Ea::D(D3),
+        },
+        Instr::And {
+            size: Size::Word,
+            src: Ea::D(D2),
+            dst: D3,
+        },
+        Instr::Eor {
+            size: Size::Word,
+            src: D3,
+            dst: Ea::D(D0),
+        },
+        Instr::Eor {
+            size: Size::Word,
+            src: D3,
+            dst: Ea::D(D1),
+        },
+        Instr::Move {
+            size: Size::Word,
+            src: Ea::D(D0),
+            dst: Ea::Ind(A0),
+        },
+        Instr::Move {
+            size: Size::Word,
+            src: Ea::D(D1),
+            dst: Ea::Ind(A1),
+        },
+    ];
+    for i in &body {
+        assert!(
+            !is_data_dependent(i),
+            "branch-free comparator contains a data-dependent instruction: {i}"
+        );
+    }
+    let b = block_bounds(&body);
+    assert_eq!(b.min, b.max, "comparator must be constant-time");
+    // Sum of the individual table entries — pinned so any model change that
+    // silently moves a kernel's SIMD cost is caught with the exact figure.
+    let sum: u32 = body
+        .iter()
+        .map(|i| base_cycles(i, ExecCtx::default()))
+        .sum();
+    assert_eq!(b.min, sum);
+    assert_eq!(
+        sum,
+        8 + 8 + 8 + 8 + 4 + 4 + 22 + 20 + 4 + 8 + 4 + 8 + 8 + 8 + 8
+    );
+}
+
+/// Shift-based indexing and sign extraction: the smoothing kernel's `>> 2`
+/// normalization and the sort kernel's two-ASR sign smear. Immediate-form
+/// shifts cost 6 + 2n on word operands; the immediate count tops out at 8,
+/// which is why a 15-position arithmetic shift is split 8 + 7.
+#[test]
+fn shift_based_indexing_cycles() {
+    let ctx = ExecCtx::default();
+    let norm = Instr::Shift {
+        kind: ShiftKind::Lsr,
+        size: Size::Word,
+        count: ShiftCount::Imm(2),
+        dst: D0,
+    };
+    assert_eq!(base_cycles(&norm, ctx), 10, "LSR.W #2 = 6 + 2*2");
+    assert_eq!(shift_cycles(Size::Word, 2), 10);
+
+    let asr8 = Instr::Shift {
+        kind: ShiftKind::Asr,
+        size: Size::Word,
+        count: ShiftCount::Imm(8),
+        dst: D2,
+    };
+    let asr7 = Instr::Shift {
+        kind: ShiftKind::Asr,
+        size: Size::Word,
+        count: ShiftCount::Imm(7),
+        dst: D2,
+    };
+    assert_eq!(base_cycles(&asr8, ctx), 22, "ASR.W #8 = 6 + 2*8");
+    assert_eq!(base_cycles(&asr7, ctx), 20, "ASR.W #7 = 6 + 2*7");
+    assert_eq!(
+        base_cycles(&asr8, ctx) + base_cycles(&asr7, ctx),
+        shift_cycles(Size::Word, 8) + shift_cycles(Size::Word, 7)
+    );
+
+    // Immediate shifts are constant-time; only register-count shifts vary.
+    assert!(!is_data_dependent(&asr8));
+    let reg_shift = Instr::Shift {
+        kind: ShiftKind::Asr,
+        size: Size::Word,
+        count: ShiftCount::Reg(D1),
+        dst: D2,
+    };
+    assert!(is_data_dependent(&reg_shift));
+    assert!(instr_bounds(&reg_shift).spread() > 0);
+}
+
+/// The smoothing stencil body: 3-tap read-add-shift-store over (A0) with a
+/// displacement for the third tap. Every instruction is fixed-time, so the
+/// whole pass is constant — the property that makes smoothing the
+/// SIMD-favoring end of the kernelsweep spectrum.
+#[test]
+fn stencil_body_is_constant_time() {
+    let body = [
+        Instr::Move {
+            size: Size::Word,
+            src: Ea::PostInc(A4),
+            dst: Ea::D(D0),
+        },
+        Instr::Move {
+            size: Size::Word,
+            src: Ea::Ind(A4),
+            dst: Ea::D(D1),
+        },
+        Instr::Add {
+            size: Size::Word,
+            src: Ea::D(D1),
+            dst: D0,
+        },
+        Instr::Add {
+            size: Size::Word,
+            src: Ea::D(D1),
+            dst: D0,
+        },
+        Instr::Move {
+            size: Size::Word,
+            src: Ea::Disp(2, A4),
+            dst: Ea::D(D1),
+        },
+        Instr::Add {
+            size: Size::Word,
+            src: Ea::D(D1),
+            dst: D0,
+        },
+        Instr::Shift {
+            kind: ShiftKind::Lsr,
+            size: Size::Word,
+            count: ShiftCount::Imm(2),
+            dst: D0,
+        },
+        Instr::Move {
+            size: Size::Word,
+            src: Ea::D(D0),
+            dst: Ea::PostInc(A5),
+        },
+    ];
+    let b = block_bounds(&body);
+    assert_eq!(b.min, b.max);
+    // MOVE (An)+ 8, MOVE (An) 8, ADD 4, ADD 4, MOVE d16(An) 12, ADD 4,
+    // LSR #2 10, MOVE Dn,(An)+ 8.
+    assert_eq!(b.min, 8 + 8 + 4 + 4 + 12 + 4 + 10 + 8);
+}
+
+/// Loop plumbing shared by every kernel's inner loops: `DBRA` costs 10 while
+/// the counter is live and 14 on expiry, and the rank-count conditional
+/// increment (`ADDQ.W #1,Dn` = 4) sits between the 10-vs-12 branch arms.
+#[test]
+fn loop_and_count_plumbing_cycles() {
+    assert_eq!(dbra_cycles(false), 10, "DBRA taken (counter live)");
+    assert_eq!(dbra_cycles(true), 14, "DBRA expired (fall through)");
+    let dbra = Instr::Dbra { dst: D7, target: 0 };
+    assert!(is_data_dependent(&dbra));
+    let b = instr_bounds(&dbra);
+    assert_eq!((b.min, b.max), (10, 14));
+
+    let count = Instr::Addq {
+        size: Size::Word,
+        value: 1,
+        dst: Ea::D(D3),
+    };
+    assert_eq!(base_cycles(&count, ExecCtx::default()), 4, "ADDQ.W #1,D3");
+    // Rank-count inner iteration arms: MOVE (A0)+,D0 (8) + CMP (4) + branch:
+    // not-smaller takes 8+4+10 = 22, smaller takes 8+4+12+4 = 28.
+    assert_eq!(8 + 4 + bcc_cycles(true), 22);
+    assert_eq!(8 + 4 + bcc_cycles(false) + 4, 28);
+}

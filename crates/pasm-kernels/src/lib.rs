@@ -1,0 +1,192 @@
+//! # pasm-kernels — the registered workloads of the PASM experiments
+//!
+//! The paper measures its SIMD / MIMD / S/MIMD tradeoff on one program
+//! (column-partitioned matrix multiplication). This crate turns "a PASM
+//! experiment" into "any registered workload": a [`Kernel`] is a named
+//! workload that knows how to generate its own seeded input, emit per-mode
+//! programs through the shared `pasm-prog` code generators, read its output
+//! back from PE memories, and verify that output against a scalar host
+//! reference.
+//!
+//! Four kernels are registered, chosen for genuinely different
+//! communication/compute signatures:
+//!
+//! | kernel    | compute                          | communication                | favors |
+//! |-----------|----------------------------------|------------------------------|--------|
+//! | `matmul`  | data-dependent `MULU` (38–70 cy) | O(n²/p) ring recirculation   | mode-dependent (the paper's crossover) |
+//! | `smooth`  | constant-time shift/add stencil  | 2-word halo per iteration    | SIMD (no variance to equalize, free MC control flow) |
+//! | `reduce`  | O(K) constant-time adds          | p−1 synchronized ring steps  | isolates the three comm protocols |
+//! | `bitonic` | data-dependent compare-exchange  | (p−1)·K ring rotation        | MIMD (branchy CE beats the branch-free SIMD comparator) |
+//!
+//! The registry is static: [`kernels`] lists every kernel, [`find`] resolves a
+//! client-supplied name (the `pasm-server` job field and `pasm-run --kernel`
+//! both go through it, so an unknown name is rejected before any machine is
+//! built).
+
+pub mod bitonic;
+pub mod matmul;
+pub mod reduce;
+pub mod smooth;
+
+use pasm_machine::{Machine, RunError};
+use pasm_prog::{MatmulParams, Mode, VirtualMachine};
+use std::hash::Hasher;
+
+/// Name of the default workload (the paper's matrix multiplication). An
+/// `ExperimentKey` whose workload equals this hashes exactly as the
+/// pre-registry keys did, so existing cache fingerprints stay valid.
+pub const MATMUL: &str = "matmul";
+
+/// A registered workload: everything an experiment runner needs to execute
+/// and verify it in any mode, without knowing what it computes.
+///
+/// `params` reuses [`MatmulParams`]: `n` is the kernel's problem size
+/// (elements or matrix dimension — see each kernel), `p` the PE count, and
+/// `extra_muls` a kernel-specific extra-work knob (added multiplies for
+/// `matmul`, added smoothing passes for `smooth`, unused elsewhere).
+pub trait Kernel: Sync {
+    /// Stable registry name (lowercase; what clients submit).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for listings.
+    fn description(&self) -> &'static str;
+
+    /// `(compute_phase, comm_phase)` ids of this kernel's `Mark` spans (see
+    /// `pasm_prog::codegen::phase_name`), used for result summaries.
+    fn phases(&self) -> (u8, u8);
+
+    /// Whether `Mode::Serial` is meaningful for this kernel.
+    fn supports_serial(&self) -> bool {
+        false
+    }
+
+    /// Check the structural constraints on `(n, p)` (divisibility, block-size
+    /// bounds, power-of-two requirements) and return a client-displayable
+    /// error. `p` range vs. the machine is checked by the caller.
+    fn validate(&self, n: usize, p: usize) -> Result<(), String>;
+
+    /// Deterministically generate the input words for problem size `n`.
+    fn generate(&self, n: usize, seed: u64) -> Vec<u16>;
+
+    /// Scalar host reference: the exact output words a correct run with
+    /// these parameters produces.
+    fn reference(&self, params: MatmulParams, input: &[u16]) -> Vec<u16>;
+
+    /// Load data, programs and network circuits for one run onto `machine`'s
+    /// virtual machine. Fails with [`RunError::Net`] when the circuits cannot
+    /// be established (a real outcome on a faulted network).
+    fn load(
+        &self,
+        machine: &mut Machine,
+        mode: Mode,
+        params: MatmulParams,
+        vm: &VirtualMachine,
+        input: &[u16],
+    ) -> Result<(), RunError>;
+
+    /// Read the output words back from PE memories after the run, in the
+    /// same layout [`Kernel::reference`] produces. `mode` is the mode the
+    /// run used (output placement may differ, e.g. the serial matmul layout).
+    fn read_output(
+        &self,
+        machine: &Machine,
+        mode: Mode,
+        params: MatmulParams,
+        vm: &VirtualMachine,
+    ) -> Vec<u16>;
+}
+
+static REGISTRY: [&dyn Kernel; 4] = [
+    &matmul::Matmul,
+    &smooth::Smooth,
+    &reduce::Reduce,
+    &bitonic::Bitonic,
+];
+
+/// All registered kernels, `matmul` first.
+pub fn kernels() -> &'static [&'static dyn Kernel] {
+    &REGISTRY
+}
+
+/// Resolve a kernel by registry name (case-insensitive).
+pub fn find(name: &str) -> Option<&'static dyn Kernel> {
+    let lower = name.to_ascii_lowercase();
+    kernels().iter().copied().find(|k| k.name() == lower)
+}
+
+/// The registered names, for error messages and listings.
+pub fn names() -> Vec<&'static str> {
+    kernels().iter().map(|k| k.name()).collect()
+}
+
+/// FNV-1a fingerprint of a word sequence (big-endian bytes — the same
+/// convention `ExperimentResult` uses for the matmul product checksum).
+pub fn checksum(words: &[u16]) -> u64 {
+    let mut h = pasm_util::Fnv1a::new();
+    for w in words {
+        h.write(&w.to_be_bytes());
+    }
+    h.finish()
+}
+
+/// Compare a run's output against the kernel's scalar reference; the error
+/// pinpoints the first mismatching word.
+pub fn verify(
+    kernel: &dyn Kernel,
+    params: MatmulParams,
+    input: &[u16],
+    output: &[u16],
+) -> Result<(), String> {
+    let expect = kernel.reference(params, input);
+    if output.len() != expect.len() {
+        return Err(format!(
+            "{}: output has {} words, reference has {}",
+            kernel.name(),
+            output.len(),
+            expect.len()
+        ));
+    }
+    for (i, (got, want)) in output.iter().zip(expect.iter()).enumerate() {
+        if got != want {
+            return Err(format!(
+                "{}: output word {i} is {got:#06x}, reference says {want:#06x}",
+                kernel.name()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_lowercase() {
+        let names = names();
+        assert_eq!(names.len(), 4);
+        assert_eq!(names[0], MATMUL);
+        for n in &names {
+            assert_eq!(n.to_ascii_lowercase(), **n);
+        }
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn find_is_case_insensitive_and_total() {
+        assert_eq!(find("Bitonic").unwrap().name(), "bitonic");
+        assert_eq!(find("MATMUL").unwrap().name(), "matmul");
+        assert!(find("quicksort").is_none());
+    }
+
+    #[test]
+    fn checksum_matches_manual_fnv() {
+        let mut h = pasm_util::Fnv1a::new();
+        h.write(&0x1234u16.to_be_bytes());
+        h.write(&0x00FFu16.to_be_bytes());
+        assert_eq!(checksum(&[0x1234, 0x00FF]), h.finish());
+    }
+}

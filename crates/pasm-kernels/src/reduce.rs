@@ -1,0 +1,153 @@
+//! Global-sum reduction as a registered kernel.
+//!
+//! Thin registry adapter over [`pasm_prog::reduction`]: each PE sums its
+//! `K = n/p` block locally (`local_sum` phase), then the partials circulate
+//! the ring for `p − 1` synchronized steps with every PE forwarding and
+//! accumulating (`recirculation_transfer` phase) until all PEs hold the
+//! global wrapping 16-bit sum.
+//!
+//! O(K) constant-time adds against O(p) synchronized transfers: the
+//! barrier-per-step cost structure the paper's S/MIMD protocol targets,
+//! with almost no compute variance in the way.
+//!
+//! One note on topology: the ESC establishes its circuits once per run, so a
+//! log-depth tree combine is out of reach — the reduction is realized as ring
+//! forwarding on the same fixed `PE i → PE (i−1)` circuits every other kernel
+//! uses, making its communication costs directly comparable.
+//!
+//! Output: `p` words, one per PE, all equal to the global sum.
+
+use crate::Kernel;
+use pasm_machine::{Machine, RunError};
+use pasm_prog::codegen::{PHASE_COMM, PHASE_LSUM};
+use pasm_prog::matmul::MatmulParams;
+use pasm_prog::reduction::{self, ReduceParams, RESULT_ADDR, VEC_BASE};
+use pasm_prog::{Mode, VirtualMachine};
+
+/// The registered reduction kernel (see module docs).
+pub struct Reduce;
+
+impl Kernel for Reduce {
+    fn name(&self) -> &'static str {
+        "reduce"
+    }
+
+    fn description(&self) -> &'static str {
+        "ring global sum: O(n/p) local adds, p-1 synchronized transfer steps"
+    }
+
+    fn phases(&self) -> (u8, u8) {
+        (PHASE_LSUM, PHASE_COMM)
+    }
+
+    fn validate(&self, n: usize, p: usize) -> Result<(), String> {
+        if p < 2 || !p.is_power_of_two() {
+            return Err(format!("reduce: p must be a power of two >= 2, got {p}"));
+        }
+        if !n.is_multiple_of(p) {
+            return Err(format!("reduce: p must divide n (n={n}, p={p})"));
+        }
+        let k = n / p;
+        if !(1..=4096).contains(&k) {
+            return Err(format!(
+                "reduce: elements per PE must be in 1..=4096, got {k} (n={n}, p={p})"
+            ));
+        }
+        Ok(())
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Vec<u16> {
+        let mut rng = pasm_util::Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_u16()).collect()
+    }
+
+    fn reference(&self, params: MatmulParams, input: &[u16]) -> Vec<u16> {
+        let sum = input.iter().fold(0u16, |a, &v| a.wrapping_add(v));
+        vec![sum; params.p]
+    }
+
+    fn load(
+        &self,
+        machine: &mut Machine,
+        mode: Mode,
+        params: MatmulParams,
+        vm: &VirtualMachine,
+        input: &[u16],
+    ) -> Result<(), RunError> {
+        let k = params.n / params.p;
+        assert_eq!(input.len(), params.n, "reduce input is n words");
+        let rp = ReduceParams { k, p: params.p };
+        machine
+            .connect_ring(&vm.pes)
+            .map_err(|e| RunError::Net(e.to_string()))?;
+        for (l, &pe) in vm.pes.iter().enumerate() {
+            machine
+                .pe_mem_mut(pe)
+                .load_words(VEC_BASE, &input[l * k..(l + 1) * k]);
+        }
+        match mode {
+            Mode::Simd => {
+                let (pe_prog, mc_prog) = reduction::simd_programs(rp, vm.mask);
+                for &pe in &vm.pes {
+                    machine.load_pe_program(pe, pe_prog.clone());
+                }
+                for &mc in &vm.mcs {
+                    machine.load_mc_program(mc, mc_prog.clone());
+                }
+            }
+            Mode::Mimd | Mode::Smimd => {
+                let sync = mode.comm_sync().expect("parallel mode");
+                let pe_prog = reduction::pe_program(rp, sync);
+                for &pe in &vm.pes {
+                    machine.load_pe_program(pe, pe_prog.clone());
+                }
+                let mc_prog = reduction::mc_program(rp, sync, vm.mask);
+                for &mc in &vm.mcs {
+                    machine.load_mc_program(mc, mc_prog.clone());
+                }
+            }
+            Mode::Serial => panic!("reduce is a parallel workload"),
+        }
+        Ok(())
+    }
+
+    fn read_output(
+        &self,
+        machine: &Machine,
+        _mode: Mode,
+        _params: MatmulParams,
+        vm: &VirtualMachine,
+    ) -> Vec<u16> {
+        vm.pes
+            .iter()
+            .map(|&pe| machine.pe_mem(pe).read_word(RESULT_ADDR))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_the_wrapping_sum_everywhere() {
+        let k = Reduce;
+        let params = MatmulParams {
+            n: 4,
+            p: 2,
+            extra_muls: 0,
+        };
+        assert_eq!(
+            k.reference(params, &[0xFFFF, 2, 3, 0]),
+            vec![4, 4] // 0xFFFF + 2 wraps to 1, + 3 = 4
+        );
+    }
+
+    #[test]
+    fn validate_requires_a_ring() {
+        let k = Reduce;
+        assert!(k.validate(64, 4).is_ok());
+        assert!(k.validate(64, 1).is_err());
+        assert!(k.validate(63, 4).is_err());
+    }
+}

@@ -2,7 +2,7 @@
 //! the phase breakdown used to regenerate the paper's Figures 8–10.
 
 /// Number of distinct phase ids supported by `Mark` instrumentation.
-pub const N_PHASES: usize = 8;
+pub const N_PHASES: usize = 16;
 
 /// Execution statistics of one PE.
 #[derive(Debug, Clone, Default)]

@@ -30,6 +30,16 @@ pub const PHASE_MUL: u8 = 1;
 pub const PHASE_COMM: u8 = 2;
 /// Phase id of the C-clearing loop (part of the paper's "other" time).
 pub const PHASE_CLEAR: u8 = 3;
+/// Phase id of the stencil compute loop (image-smoothing kernel).
+pub const PHASE_STENCIL: u8 = 4;
+/// Phase id of the boundary-sample halo exchange (image-smoothing kernel).
+pub const PHASE_HALO: u8 = 5;
+/// Phase id of the local bitonic sorting network (bitonic-sort kernel).
+pub const PHASE_SORT: u8 = 6;
+/// Phase id of the global rank-counting loop (bitonic-sort kernel).
+pub const PHASE_RANK: u8 = 7;
+/// Phase id of the per-PE local sum (reduction kernel).
+pub const PHASE_LSUM: u8 = 8;
 
 /// Stable span name of a phase id (the `name` field of JSONL trace events).
 pub fn phase_name(phase: u8) -> &'static str {
@@ -37,6 +47,11 @@ pub fn phase_name(phase: u8) -> &'static str {
         PHASE_MUL => "mac_loop",
         PHASE_COMM => "recirculation_transfer",
         PHASE_CLEAR => "clear_loop",
+        PHASE_STENCIL => "stencil_compute",
+        PHASE_HALO => "halo_exchange",
+        PHASE_SORT => "bitonic_network",
+        PHASE_RANK => "rank_count",
+        PHASE_LSUM => "local_sum",
         _ => "unknown",
     }
 }

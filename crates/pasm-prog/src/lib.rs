@@ -21,9 +21,11 @@ pub mod codegen;
 pub mod layout;
 pub mod matmul;
 pub mod microbench;
+pub mod mode;
 pub mod reduction;
 pub mod workload;
 
 pub use layout::Layout;
 pub use matmul::{select_vm, CommSync, MatmulParams, VirtualMachine};
+pub use mode::Mode;
 pub use workload::Matrix;

@@ -1,0 +1,104 @@
+//! The four program variants of the paper, as a mode selector shared by every
+//! workload's code generator.
+//!
+//! `Mode` lives here (not in the `pasm` experiment crate) because it is a
+//! property of *generated programs*: each registered kernel emits a different
+//! program per mode, and the kernel crates sit below the experiment layer.
+
+use crate::matmul::CommSync;
+use pasm_util::json::{Json, ToJson};
+use std::fmt;
+
+/// The four program variants of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Optimized single-PE baseline (SISD).
+    Serial,
+    /// Control flow on the MCs, instructions broadcast through the queue.
+    Simd,
+    /// Everything on the PEs, polled network handshakes.
+    Mimd,
+    /// MIMD computation with Fetch-Unit barrier communication.
+    Smimd,
+}
+
+impl Mode {
+    /// All modes in presentation order.
+    pub const ALL: [Mode; 4] = [Mode::Serial, Mode::Simd, Mode::Mimd, Mode::Smimd];
+
+    /// The parallel modes.
+    pub const PARALLEL: [Mode; 3] = [Mode::Simd, Mode::Mimd, Mode::Smimd];
+
+    /// The communication synchronization of the PE-resident modes
+    /// (`None` for Serial and Simd, which have no PE-side handshakes).
+    pub fn comm_sync(self) -> Option<CommSync> {
+        match self {
+            Mode::Mimd => Some(CommSync::Polling),
+            Mode::Smimd => Some(CommSync::Barrier),
+            Mode::Serial | Mode::Simd => None,
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::Serial => "SISD",
+            Mode::Simd => "SIMD",
+            Mode::Mimd => "MIMD",
+            Mode::Smimd => "S/MIMD",
+        })
+    }
+}
+
+impl ToJson for Mode {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Mode::Serial => "Serial",
+                Mode::Simd => "Simd",
+                Mode::Mimd => "Mimd",
+                Mode::Smimd => "Smimd",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Mode {
+    /// Parse the `ToJson` form (and the display form) back into a mode.
+    pub fn parse(s: &str) -> Option<Mode> {
+        match s.to_ascii_lowercase().as_str() {
+            "serial" | "sisd" => Some(Mode::Serial),
+            "simd" => Some(Mode::Simd),
+            "mimd" => Some(Mode::Mimd),
+            "smimd" | "s/mimd" => Some(Mode::Smimd),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_both_spellings() {
+        for m in Mode::ALL {
+            assert_eq!(Mode::parse(&m.to_string()), Some(m));
+            let Json::Str(s) = m.to_json() else {
+                panic!("mode JSON form is a string")
+            };
+            assert_eq!(Mode::parse(&s), Some(m));
+        }
+        assert_eq!(Mode::parse("warp"), None);
+    }
+
+    #[test]
+    fn comm_sync_matches_paper_variants() {
+        assert_eq!(Mode::Mimd.comm_sync(), Some(CommSync::Polling));
+        assert_eq!(Mode::Smimd.comm_sync(), Some(CommSync::Barrier));
+        assert_eq!(Mode::Simd.comm_sync(), None);
+        assert_eq!(Mode::Serial.comm_sync(), None);
+    }
+}

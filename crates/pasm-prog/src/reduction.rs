@@ -125,6 +125,10 @@ pub fn pe_program(params: ReduceParams, sync: CommSync) -> Program {
     let mut b = ProgramBuilder::new();
 
     // Local sum.
+    b.emit(Instr::Mark {
+        begin: true,
+        phase: PHASE_LSUM,
+    });
     b.emit(lea_abs(VEC_BASE, A_PTR));
     b.emit(Instr::Clr {
         size: Size::Word,
@@ -146,6 +150,14 @@ pub fn pe_program(params: ReduceParams, sync: CommSync) -> Program {
     );
 
     // Ring accumulation: forward what arrived, add it, p-1 times.
+    b.emit(Instr::Mark {
+        begin: false,
+        phase: PHASE_LSUM,
+    });
+    b.emit(Instr::Mark {
+        begin: true,
+        phase: PHASE_COMM,
+    });
     b.emit(Instr::Move {
         size: Size::Word,
         src: Ea::D(PROD),
@@ -178,6 +190,10 @@ pub fn pe_program(params: ReduceParams, sync: CommSync) -> Program {
         step,
     );
 
+    b.emit(Instr::Mark {
+        begin: false,
+        phase: PHASE_COMM,
+    });
     b.emit(Instr::Move {
         size: Size::Word,
         src: Ea::D(PROD),
@@ -214,6 +230,10 @@ pub fn simd_programs(params: ReduceParams, mask: u16) -> (Program, Program) {
 
     let mut b = ProgramBuilder::new();
     let init = b.begin_block();
+    b.emit(Instr::Mark {
+        begin: true,
+        phase: PHASE_LSUM,
+    });
     b.emit(lea_abs(VEC_BASE, A_PTR));
     b.emit(Instr::Clr {
         size: Size::Word,
@@ -230,6 +250,14 @@ pub fn simd_programs(params: ReduceParams, mask: u16) -> (Program, Program) {
     b.end_block();
 
     let ring_init = b.begin_block();
+    b.emit(Instr::Mark {
+        begin: false,
+        phase: PHASE_LSUM,
+    });
+    b.emit(Instr::Mark {
+        begin: true,
+        phase: PHASE_COMM,
+    });
     b.emit(Instr::Move {
         size: Size::Word,
         src: Ea::D(PROD),
@@ -255,6 +283,10 @@ pub fn simd_programs(params: ReduceParams, mask: u16) -> (Program, Program) {
     b.end_block();
 
     let done = b.begin_block();
+    b.emit(Instr::Mark {
+        begin: false,
+        phase: PHASE_COMM,
+    });
     b.emit(Instr::Move {
         size: Size::Word,
         src: Ea::D(PROD),

@@ -103,6 +103,7 @@ mod tests {
             params: Params::new(n, 4),
             seed: 1,
             fault: Default::default(),
+            workload: pasm::MATMUL,
         }
     }
 
@@ -111,6 +112,7 @@ mod tests {
             mode: Mode::Simd,
             n,
             p: 4,
+            workload: pasm::MATMUL,
             extra_muls: 0,
             seed: 1,
             cycles: 100,

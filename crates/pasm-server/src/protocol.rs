@@ -94,6 +94,17 @@ impl JobSpec {
             _ => field_usize(body, "p")?.unwrap_or(4),
         };
         let extra_muls = field_usize(body, "extra_muls")?.unwrap_or(0);
+        let kernel_name = match body.get("kernel") {
+            None | Some(Json::Null) => pasm::MATMUL,
+            Some(Json::Str(s)) => s.as_str(),
+            Some(_) => return Err(BadRequest::new("`kernel` must be a workload name string")),
+        };
+        let kernel = pasm::kernels::find(kernel_name).ok_or_else(|| {
+            BadRequest::new(format!(
+                "unknown kernel `{kernel_name}` (registered: {})",
+                pasm::kernels::names().join(", ")
+            ))
+        })?;
         let seed = field_u64(body, "seed", DEFAULT_SEED)?;
         let deadline_ms = match body.get("deadline_ms") {
             None | Some(Json::Null) => None,
@@ -105,20 +116,24 @@ impl JobSpec {
         let mut config = machine_config(body.get("config"))?;
 
         // Re-state the simulator's own invariants as client errors.
-        if n == 0 || n > 512 {
-            return Err(BadRequest::new("`n` must be in 1..=512"));
-        }
         if !p.is_power_of_two() || p > config.n_pes {
             return Err(BadRequest::new(format!(
                 "`p` must be a power of two ≤ n_pes (= {})",
                 config.n_pes
             )));
         }
-        if mode != Mode::Serial && !n.is_multiple_of(p) {
-            return Err(BadRequest::new("`p` must divide `n`"));
+        if mode == Mode::Serial && !kernel.supports_serial() {
+            return Err(BadRequest::new(format!(
+                "kernel `{}` has no serial variant (parallel modes only)",
+                kernel.name()
+            )));
         }
-        if mode != Mode::Serial && n < p {
-            return Err(BadRequest::new("`n` must be at least `p`"));
+        if mode != Mode::Serial {
+            kernel
+                .validate(n, p)
+                .map_err(|e| BadRequest::new(format!("kernel `{}`: {e}", kernel.name())))?;
+        } else if n == 0 || n > 512 {
+            return Err(BadRequest::new("`n` must be in 1..=512"));
         }
 
         let fault = match body.get("fault") {
@@ -148,6 +163,7 @@ impl JobSpec {
                 params: Params { n, p, extra_muls },
                 seed,
                 fault,
+                workload: kernel.name(),
             },
             deadline_ms,
             chaos,
@@ -368,6 +384,53 @@ mod tests {
             &parse(r#"{"mode":"simd","n":16,"chaos":{"kind":"??"}}"#).unwrap()
         )
         .is_err());
+    }
+
+    #[test]
+    fn kernel_member_selects_the_workload() {
+        let spec = JobSpec::from_json(
+            &parse(r#"{"mode":"mimd","kernel":"smooth","n":32,"p":4}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(spec.key.workload, "smooth");
+        // Case-insensitive, like the CLI.
+        let spec = JobSpec::from_json(
+            &parse(r#"{"mode":"simd","kernel":"Bitonic","n":32,"p":4}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(spec.key.workload, "bitonic");
+    }
+
+    #[test]
+    fn omitted_kernel_is_matmul_and_keeps_the_fingerprint() {
+        let implicit = JobSpec::from_json(&parse(r#"{"mode":"simd","n":16}"#).unwrap()).unwrap();
+        let explicit =
+            JobSpec::from_json(&parse(r#"{"mode":"simd","kernel":"matmul","n":16}"#).unwrap())
+                .unwrap();
+        assert_eq!(implicit.key, explicit.key);
+        assert_eq!(implicit.key.fingerprint(), explicit.key.fingerprint());
+    }
+
+    #[test]
+    fn bad_kernel_submissions_are_client_errors() {
+        for (body, why) in [
+            (
+                r#"{"mode":"simd","kernel":"warp","n":16}"#,
+                "unknown kernel",
+            ),
+            (r#"{"mode":"simd","kernel":42,"n":16}"#, "non-string kernel"),
+            (
+                r#"{"mode":"serial","kernel":"reduce","n":16}"#,
+                "no serial variant",
+            ),
+            (
+                r#"{"mode":"simd","kernel":"bitonic","n":24,"p":4}"#,
+                "block size not a power of two",
+            ),
+        ] {
+            let err = JobSpec::from_json(&parse(body).unwrap());
+            assert!(err.is_err(), "{why}: {body}");
+        }
     }
 
     #[test]

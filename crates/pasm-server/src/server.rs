@@ -616,6 +616,7 @@ fn job_summary(job_id: u64, job: &Job) -> Json {
         ("status", Json::Str(job.status.as_str().into())),
         ("cached", Json::Bool(job.cached)),
         ("mode", job.spec.key.mode.to_json()),
+        ("kernel", Json::Str(job.spec.key.workload.into())),
         ("n", Json::Int(job.spec.key.params.n as i64)),
         ("p", Json::Int(job.spec.key.params.p as i64)),
         (

@@ -6,7 +6,7 @@
 //!
 //! ```sh
 //! cargo run -p pasm --bin pasm-run -- program.s [--listing] [--stats] [--max-cycles N] [--trace out.jsonl]
-//! cargo run -p pasm --bin pasm-run -- --mode smimd --n 16 --p 8 [--seed S] [--fault box:1:0]
+//! cargo run -p pasm --bin pasm-run -- --mode smimd --n 16 --p 8 [--kernel NAME] [--seed S] [--fault box:1:0]
 //! ```
 //!
 //! In file mode, the program runs in MIMD mode on PE 0 of a small machine
@@ -16,21 +16,22 @@
 //! `pasm_isa::analysis`; `--trace` writes the program's `MARK`-delimited
 //! phase spans as JSONL trace events (see `docs/OBSERVABILITY.md`).
 //!
-//! In `--mode` mode, the tool runs one paper-workload matrix multiplication
-//! on the 16-PE prototype, verifies the product, and — with `--fault` — also
-//! runs the fault-free baseline and reports the measured slowdown. All user
-//! errors (unknown mode, non-power-of-two `--p`, bad fault spec) exit with a
-//! clean one-line message, never a panic.
+//! In `--mode` mode, the tool runs one registered workload (`--kernel`,
+//! default `matmul` — see `docs/KERNELS.md`) on the 16-PE prototype,
+//! verifies the output against the kernel's scalar host reference, and —
+//! with `--fault` — also runs the fault-free baseline and reports the
+//! measured slowdown. All user errors (unknown mode or kernel,
+//! non-power-of-two `--p`, bad fault spec) exit with a clean one-line
+//! message, never a panic.
 
 use pasm_isa::analysis;
 use pasm_machine::{FaultPlan, Machine, MachineConfig};
-use std::hash::Hasher;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: pasm-run <file.s> [--listing] [--stats] [--max-cycles N] [--trace out.jsonl]\n\
-                pasm-run --mode <serial|simd|mimd|smimd> --n N [--p P] [--seed S] [--fault SPEC]"
+                pasm-run --mode <serial|simd|mimd|smimd> --n N [--p P] [--kernel NAME] [--seed S] [--fault SPEC]"
     );
     ExitCode::from(2)
 }
@@ -40,10 +41,12 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
-/// The `--mode` path: one keyed matmul run on the prototype configuration,
+/// The `--mode` path: one keyed kernel run on the prototype configuration,
 /// with every invalid input reported as a one-line error.
+#[allow(clippy::too_many_arguments)]
 fn run_experiment(
     mode_str: &str,
+    kernel_name: &str,
     n: Option<usize>,
     p: usize,
     seed: u64,
@@ -55,8 +58,14 @@ fn run_experiment(
             "unknown --mode `{mode_str}` (expected serial, simd, mimd, or smimd)"
         ));
     };
+    let Some(kernel) = pasm::kernels::find(kernel_name) else {
+        return fail(&format!(
+            "unknown --kernel `{kernel_name}` (registered: {})",
+            pasm::kernels::names().join(", ")
+        ));
+    };
     let Some(n) = n else {
-        return fail("--mode requires --n (matrix size)");
+        return fail("--mode requires --n (problem size)");
     };
     let mut config = MachineConfig::prototype();
     config.max_cycles = max_cycles;
@@ -69,8 +78,16 @@ fn run_experiment(
             config.n_pes
         ));
     }
-    if mode != pasm::Mode::Serial && (n < p || !n.is_multiple_of(p)) {
-        return fail(&format!("--p {p} must divide --n {n}"));
+    if mode == pasm::Mode::Serial && !kernel.supports_serial() {
+        return fail(&format!(
+            "kernel `{}` has no serial variant (parallel modes only)",
+            kernel.name()
+        ));
+    }
+    if mode != pasm::Mode::Serial {
+        if let Err(e) = kernel.validate(n, p) {
+            return fail(&e);
+        }
     }
     let fault = match fault_spec {
         None => FaultPlan::default(),
@@ -88,22 +105,18 @@ fn run_experiment(
         params: pasm::Params::new(n, if mode == pasm::Mode::Serial { 1 } else { p }),
         seed,
         fault,
+        workload: kernel.name(),
     };
     let result = match pasm::run_keyed(&key) {
         Ok(r) => r,
         Err(e) => return fail(&e.to_string()),
     };
-    let (a, b) = pasm::paper_workload(n, seed);
-    let expect = a.multiply(&b);
-    let mut h = pasm_util::Fnv1a::new();
-    for r in 0..expect.n {
-        for c in 0..expect.n {
-            h.write(&expect.get(r, c).to_be_bytes());
-        }
-    }
-    let correct = h.finish() == result.c_checksum;
+    let input = kernel.generate(n, seed);
+    let expect = kernel.reference(key.params, &input);
+    let correct = pasm::kernels::checksum(&expect) == result.c_checksum;
     println!(
-        "{} n={} p={} seed={}: {} cycles ({:.3} ms), product {}",
+        "{} {} n={} p={} seed={}: {} cycles ({:.3} ms), output {}",
+        kernel.name(),
         mode,
         n,
         key.params.p,
@@ -133,6 +146,7 @@ fn main() -> ExitCode {
     let mut trace = None;
     let mut max_cycles = 100_000_000u64;
     let mut mode = None;
+    let mut kernel = "matmul".to_string();
     let mut n = None;
     let mut p = 4usize;
     let mut seed = pasm::figures::DEFAULT_SEED;
@@ -152,6 +166,10 @@ fn main() -> ExitCode {
             },
             "--mode" => match args.next() {
                 Some(m) => mode = Some(m),
+                None => return usage(),
+            },
+            "--kernel" => match args.next() {
+                Some(k) => kernel = k,
                 None => return usage(),
             },
             "--n" => match args.next().and_then(|v| v.parse().ok()) {
@@ -175,7 +193,7 @@ fn main() -> ExitCode {
         }
     }
     if let Some(mode) = mode {
-        return run_experiment(&mode, n, p, seed, fault.as_deref(), max_cycles);
+        return run_experiment(&mode, &kernel, n, p, seed, fault.as_deref(), max_cycles);
     }
     let Some(file) = file else { return usage() };
 

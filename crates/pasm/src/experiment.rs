@@ -1,76 +1,25 @@
 //! End-to-end experiment execution: build a machine, load a matmul variant,
 //! run it, and collect both the numeric result and the timing traces.
 
+use pasm_kernels::Kernel;
 use pasm_machine::{
     FaultPlan, Machine, MachineConfig, RunError, RunResult, BUCKET_NAMES, N_BUCKETS,
 };
-use pasm_prog::matmul::{self, mimd, select_vm, serial, simd, CommSync, MatmulParams};
-use pasm_prog::{Layout, Matrix};
+use pasm_prog::matmul::{self, select_vm, MatmulParams};
+use pasm_prog::Matrix;
 use pasm_util::json::{Json, ToJson};
 use pasm_util::{Fnv1a, SpanLog};
-use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-/// The four program variants of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Mode {
-    /// Optimized single-PE baseline (SISD).
-    Serial,
-    /// Control flow on the MCs, instructions broadcast through the queue.
-    Simd,
-    /// Everything on the PEs, polled network handshakes.
-    Mimd,
-    /// MIMD computation with Fetch-Unit barrier communication.
-    Smimd,
-}
+/// The four program variants of the paper (defined next to the program
+/// generators; re-exported here where the experiment API lives).
+pub use pasm_prog::Mode;
 
-impl Mode {
-    /// All modes in presentation order.
-    pub const ALL: [Mode; 4] = [Mode::Serial, Mode::Simd, Mode::Mimd, Mode::Smimd];
-
-    /// The parallel modes.
-    pub const PARALLEL: [Mode; 3] = [Mode::Simd, Mode::Mimd, Mode::Smimd];
-}
-
-impl fmt::Display for Mode {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Mode::Serial => "SISD",
-            Mode::Simd => "SIMD",
-            Mode::Mimd => "MIMD",
-            Mode::Smimd => "S/MIMD",
-        })
-    }
-}
-
-impl ToJson for Mode {
-    fn to_json(&self) -> Json {
-        Json::Str(
-            match self {
-                Mode::Serial => "Serial",
-                Mode::Simd => "Simd",
-                Mode::Mimd => "Mimd",
-                Mode::Smimd => "Smimd",
-            }
-            .to_string(),
-        )
-    }
-}
-
-impl Mode {
-    /// Parse the `ToJson` form (and the display form) back into a mode.
-    pub fn parse(s: &str) -> Option<Mode> {
-        match s.to_ascii_lowercase().as_str() {
-            "serial" | "sisd" => Some(Mode::Serial),
-            "simd" => Some(Mode::Simd),
-            "mimd" => Some(Mode::Mimd),
-            "smimd" | "s/mimd" => Some(Mode::Smimd),
-            _ => None,
-        }
-    }
-}
+/// Re-export of the workload registry: the named kernels an
+/// [`ExperimentKey`] can select via its `workload` field.
+pub use pasm_kernels::{self as kernels, MATMUL};
 
 /// A completed matrix-multiplication run.
 #[derive(Debug, Clone)]
@@ -131,67 +80,10 @@ pub fn run_span_log(run: &RunResult) -> SpanLog {
     log
 }
 
-/// Load one matmul job onto a machine's virtual machine: data layout, network
-/// circuits, PE and MC programs. Returns the layout for result read-back.
-///
-/// Fails with [`RunError::Net`] when the ring circuits cannot be established —
-/// on a faulted network this is a real outcome, not a bug: a full-machine ring
-/// uses every interior stage completely, so an interior-box fault leaves no
-/// one-pass routing (the ESC permutation two-pass limit; see docs/FAULTS.md).
-fn load_job(
-    machine: &mut Machine,
-    mode: Mode,
-    params: MatmulParams,
-    vm: &pasm_prog::VirtualMachine,
-    a: &Matrix,
-    b: &Matrix,
-) -> Result<Layout, RunError> {
-    match mode {
-        Mode::Serial => {
-            let layout = Layout::serial(params.n);
-            layout.load(machine, &vm.pes[..1], a, b);
-            machine.load_pe_program(vm.pes[0], serial::pe_program(params));
-            machine.load_mc_program(vm.mcs[0], serial::mc_program());
-            Ok(layout)
-        }
-        Mode::Simd => {
-            let layout = Layout::parallel(params.n, params.p);
-            layout.load(machine, &vm.pes, a, b);
-            machine
-                .connect_ring(&vm.pes)
-                .map_err(|e| RunError::Net(e.to_string()))?;
-            for &pe in &vm.pes {
-                machine.load_pe_program(pe, simd::pe_program());
-            }
-            let mc_prog = simd::mc_program(params, vm.mask);
-            for &mc in &vm.mcs {
-                machine.load_mc_program(mc, mc_prog.clone());
-            }
-            Ok(layout)
-        }
-        Mode::Mimd | Mode::Smimd => {
-            let sync = if mode == Mode::Mimd {
-                CommSync::Polling
-            } else {
-                CommSync::Barrier
-            };
-            let layout = Layout::parallel(params.n, params.p);
-            layout.load(machine, &vm.pes, a, b);
-            machine
-                .connect_ring(&vm.pes)
-                .map_err(|e| RunError::Net(e.to_string()))?;
-            let pe_prog = mimd::pe_program(params, sync);
-            for &pe in &vm.pes {
-                machine.load_pe_program(pe, pe_prog.clone());
-            }
-            let mc_prog = mimd::mc_program(params, sync, vm.mask);
-            for &mc in &vm.mcs {
-                machine.load_mc_program(mc, mc_prog.clone());
-            }
-            Ok(layout)
-        }
-    }
-}
+/// Load one matmul job onto a machine's virtual machine (moved to
+/// [`pasm_kernels::matmul::load_matmul`] with the workload registry; kept
+/// here as a thin alias because every runner in this module goes through it).
+use pasm_kernels::matmul::load_matmul as load_job;
 
 /// Run one matrix multiplication. `a` and `b` are the operand matrices
 /// (`n × n`, matching `params.n`). Cycle accounting is on (it is effectively
@@ -386,25 +278,53 @@ pub fn run_matmul_verified(
 ///
 /// Two runs with equal descriptors produce byte-identical results (the
 /// simulator is deterministic), which is what makes result caching sound.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentKey {
     pub config: MachineConfig,
     pub mode: Mode,
     pub params: MatmulParams,
-    /// Seed of the paper workload (identity A, seeded uniform B).
+    /// Seed of the workload's input generator (for matmul: identity A,
+    /// seeded uniform B).
     pub seed: u64,
     /// Faults injected into the machine before the run (part of the identity:
     /// a degraded network yields different — still correct — timings).
     pub fault: FaultPlan,
+    /// Registered kernel this key runs (see [`pasm_kernels::kernels`]).
+    /// Defaults to [`MATMUL`], the paper's workload.
+    pub workload: &'static str,
+}
+
+/// Hashed manually so that `workload == "matmul"` keys hash exactly as the
+/// pre-registry five-field keys did: the original field order, with the
+/// workload appended only when it deviates from the default. Existing
+/// on-disk cache fingerprints therefore stay valid.
+impl Hash for ExperimentKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.config.hash(state);
+        self.mode.hash(state);
+        self.params.hash(state);
+        self.seed.hash(state);
+        self.fault.hash(state);
+        if self.workload != MATMUL {
+            self.workload.hash(state);
+        }
+    }
 }
 
 impl ExperimentKey {
-    /// Stable 64-bit content fingerprint (FNV-1a over the derived `Hash`),
-    /// identical across processes — usable as a durable cache-entry name.
+    /// Stable 64-bit content fingerprint (FNV-1a over `Hash`), identical
+    /// across processes — usable as a durable cache-entry name.
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv1a::new();
         self.hash(&mut h);
         h.finish()
+    }
+
+    /// The registry entry of this key's workload; `None` if the name is
+    /// unknown (callers validate at the boundary, so runners treat that as
+    /// a programming error).
+    pub fn kernel(&self) -> Option<&'static dyn Kernel> {
+        pasm_kernels::find(self.workload)
     }
 }
 
@@ -413,6 +333,8 @@ impl ExperimentKey {
 /// host-side; megabyte matrices are reduced to a checksum).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
+    /// Registered kernel the run executed (`"matmul"` for the paper workload).
+    pub workload: &'static str,
     pub mode: Mode,
     pub n: usize,
     pub p: usize,
@@ -422,7 +344,9 @@ pub struct ExperimentResult {
     pub cycles: u64,
     /// Simulated execution time on the 8 MHz prototype clock.
     pub millis: f64,
-    /// Phase breakdown in cycles (Figures 8–10 decomposition).
+    /// Phase breakdown in cycles (Figures 8–10 decomposition): the kernel's
+    /// dominant compute span and its communication span (see
+    /// [`Kernel::phases`]).
     pub multiply_cycles: u64,
     pub communication_cycles: u64,
     /// Instructions executed across all PEs.
@@ -430,7 +354,8 @@ pub struct ExperimentResult {
     /// Cycle buckets summed over all PEs, indexed like
     /// [`pasm_machine::BUCKET_NAMES`] (all zero if accounting was disabled).
     pub pe_buckets: [u64; N_BUCKETS],
-    /// FNV-1a fingerprint of the product matrix (row-major words).
+    /// FNV-1a fingerprint of the output words (for matmul: the row-major
+    /// product matrix).
     pub c_checksum: u64,
     /// Spelling of the injected fault plan (empty when fault-free).
     pub fault: String,
@@ -445,6 +370,7 @@ pub struct ExperimentResult {
 impl ToJson for ExperimentResult {
     fn to_json(&self) -> Json {
         Json::obj(vec![
+            ("workload", Json::Str(self.workload.to_string())),
             ("mode", self.mode.to_json()),
             ("n", self.n.to_json()),
             ("p", self.p.to_json()),
@@ -485,6 +411,7 @@ impl ExperimentResult {
             }
         }
         ExperimentResult {
+            workload: MATMUL,
             mode: out.mode,
             n: out.params.n,
             p: out.params.p,
@@ -507,10 +434,143 @@ impl ExperimentResult {
             slowdown: 1.0,
         }
     }
+
+    /// Summarize a finished registered-kernel run: phase cycles come from the
+    /// kernel's declared compute/comm spans, the checksum from its output
+    /// words.
+    pub fn from_kernel_outcome(out: &KernelOutcome, seed: u64) -> Self {
+        let (compute, comm) = out.kernel.phases();
+        ExperimentResult {
+            workload: out.kernel.name(),
+            mode: out.mode,
+            n: out.params.n,
+            p: out.params.p,
+            extra_muls: out.params.extra_muls,
+            seed,
+            cycles: out.cycles,
+            millis: pasm_isa::cycles_to_ms(out.cycles),
+            multiply_cycles: out.run.phase_max(compute as usize),
+            communication_cycles: out.run.phase_max(comm as usize),
+            pe_instrs: out.run.pe.iter().map(|t| t.instrs).sum(),
+            pe_buckets: out
+                .run
+                .accounts
+                .as_ref()
+                .map(|a| a.pe_bucket_totals())
+                .unwrap_or([0; N_BUCKETS]),
+            c_checksum: pasm_kernels::checksum(&out.output),
+            fault: String::new(),
+            baseline_cycles: 0,
+            slowdown: 1.0,
+        }
+    }
 }
 
-/// Run the experiment a key describes on the paper workload: the end-to-end
-/// unit of work of the `pasm-server` simulation service.
+/// A completed registered-kernel run (the generic counterpart of
+/// [`MatmulOutcome`]).
+#[derive(Clone)]
+pub struct KernelOutcome {
+    /// The registry entry that ran.
+    pub kernel: &'static dyn Kernel,
+    pub mode: Mode,
+    pub params: MatmulParams,
+    /// Makespan over all participating processors, MCs included.
+    pub cycles: u64,
+    /// Full machine traces.
+    pub run: RunResult,
+    /// Output words, in the kernel's reference layout.
+    pub output: Vec<u16>,
+}
+
+impl std::fmt::Debug for KernelOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelOutcome")
+            .field("kernel", &self.kernel.name())
+            .field("mode", &self.mode)
+            .field("params", &self.params)
+            .field("cycles", &self.cycles)
+            .field("output_words", &self.output.len())
+            .finish()
+    }
+}
+
+impl KernelOutcome {
+    /// Execution time in milliseconds on the 8 MHz prototype clock.
+    pub fn millis(&self) -> f64 {
+        pasm_isa::cycles_to_ms(self.cycles)
+    }
+
+    /// The run's phase spans as a named [`SpanLog`] (see [`run_span_log`]).
+    pub fn span_log(&self) -> SpanLog {
+        run_span_log(&self.run)
+    }
+
+    /// Check the output against the kernel's scalar reference for `input`.
+    pub fn verify(&self, input: &[u16]) -> Result<(), String> {
+        pasm_kernels::verify(self.kernel, self.params, input, &self.output)
+    }
+}
+
+/// Run a registered kernel end to end: build a machine, apply faults, load
+/// the kernel's per-mode programs, run, and read the output back.
+///
+/// `input` must come from [`Kernel::generate`] (or obey the same layout).
+/// Panics if the mode is [`Mode::Serial`] and the kernel does not support it,
+/// or if `(n, p)` fail the kernel's [`Kernel::validate`] — validate at the
+/// boundary first.
+pub fn run_kernel_opts(
+    cfg: &MachineConfig,
+    kernel: &'static dyn Kernel,
+    mode: Mode,
+    params: MatmulParams,
+    input: &[u16],
+    opts: &RunOptions,
+) -> Result<KernelOutcome, RunError> {
+    assert!(
+        mode != Mode::Serial || kernel.supports_serial(),
+        "{} has no serial variant",
+        kernel.name()
+    );
+    if let Err(e) = kernel.validate(params.n, params.p) {
+        panic!("invalid kernel parameters: {e}");
+    }
+    let mut machine = Machine::new(cfg.clone());
+    machine.set_accounting(opts.accounting);
+    machine
+        .apply_fault_plan(&opts.fault)
+        .map_err(RunError::Net)?;
+    if let Some(flag) = &opts.interrupt {
+        machine.set_interrupt(Arc::clone(flag));
+    }
+    let vm = select_vm(cfg, if mode == Mode::Serial { 1 } else { params.p });
+    kernel.load(&mut machine, mode, params, &vm, input)?;
+    let run = machine.run()?;
+    let output = kernel.read_output(&machine, mode, params, &vm);
+    Ok(KernelOutcome {
+        kernel,
+        mode,
+        params,
+        cycles: run.makespan,
+        run,
+        output,
+    })
+}
+
+/// [`run_kernel_opts`] with default options (accounting on, no faults).
+pub fn run_kernel(
+    cfg: &MachineConfig,
+    kernel: &'static dyn Kernel,
+    mode: Mode,
+    params: MatmulParams,
+    input: &[u16],
+) -> Result<KernelOutcome, RunError> {
+    run_kernel_opts(cfg, kernel, mode, params, input, &RunOptions::default())
+}
+
+/// Run the experiment a key describes: the end-to-end unit of work of the
+/// `pasm-server` simulation service. The key's `workload` selects the
+/// registered kernel (the default, [`MATMUL`], runs the paper workload);
+/// the input is generated from the key's seed.
 ///
 /// When the key carries a fault plan, the fault-free run of the same key is
 /// measured alongside and the result reports the fault spelling, the
@@ -525,25 +585,54 @@ pub fn run_keyed_with_interrupt(
     key: &ExperimentKey,
     interrupt: Option<Arc<AtomicBool>>,
 ) -> Result<ExperimentResult, RunError> {
-    let (a, b) = paper_workload(key.params.n, key.seed);
     let opts = RunOptions {
         accounting: true,
         fault: key.fault.clone(),
         interrupt: interrupt.clone(),
     };
-    let out = run_matmul_opts(&key.config, key.mode, key.params, &a, &b, &opts)?;
-    let mut result = ExperimentResult::from_outcome(&out, key.seed);
+    let base_opts = RunOptions {
+        accounting: true,
+        fault: FaultPlan::default(),
+        interrupt,
+    };
+    let mut result = if key.workload == MATMUL {
+        // The paper workload keeps its dedicated path (typed matrices, the
+        // same code the figure generators use).
+        let (a, b) = paper_workload(key.params.n, key.seed);
+        let out = run_matmul_opts(&key.config, key.mode, key.params, &a, &b, &opts)?;
+        let mut result = ExperimentResult::from_outcome(&out, key.seed);
+        if !key.fault.is_empty() {
+            let base = run_matmul_opts(&key.config, key.mode, key.params, &a, &b, &base_opts)?;
+            result.baseline_cycles = base.cycles;
+        }
+        result
+    } else {
+        let kernel = key.kernel().unwrap_or_else(|| {
+            panic!(
+                "unknown workload {:?} (validate at the boundary)",
+                key.workload
+            )
+        });
+        let input = kernel.generate(key.params.n, key.seed);
+        let out = run_kernel_opts(&key.config, kernel, key.mode, key.params, &input, &opts)?;
+        let mut result = ExperimentResult::from_kernel_outcome(&out, key.seed);
+        if !key.fault.is_empty() {
+            let base = run_kernel_opts(
+                &key.config,
+                kernel,
+                key.mode,
+                key.params,
+                &input,
+                &base_opts,
+            )?;
+            result.baseline_cycles = base.cycles;
+        }
+        result
+    };
     if !key.fault.is_empty() {
         result.fault = key.fault.to_string();
-        let base_opts = RunOptions {
-            accounting: true,
-            fault: FaultPlan::default(),
-            interrupt,
-        };
-        let base = run_matmul_opts(&key.config, key.mode, key.params, &a, &b, &base_opts)?;
-        result.baseline_cycles = base.cycles;
-        if base.cycles > 0 {
-            result.slowdown = result.cycles as f64 / base.cycles as f64;
+        if result.baseline_cycles > 0 {
+            result.slowdown = result.cycles as f64 / result.baseline_cycles as f64;
         }
     }
     Ok(result)
@@ -595,11 +684,7 @@ pub fn run_reduction(
             }
         }
         Mode::Mimd | Mode::Smimd => {
-            let sync = if mode == Mode::Mimd {
-                CommSync::Polling
-            } else {
-                CommSync::Barrier
-            };
+            let sync = mode.comm_sync().expect("parallel mode");
             let pe_prog = reduction::pe_program(params, sync);
             for &pe in &vm.pes {
                 machine.load_pe_program(pe, pe_prog.clone());

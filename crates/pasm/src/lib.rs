@@ -31,12 +31,13 @@ pub mod report;
 pub mod sweep;
 
 pub use experiment::{
-    paper_workload, run_concurrent, run_keyed, run_keyed_with_interrupt, run_matmul,
-    run_matmul_opts, run_matmul_verified, run_matmul_with_accounting, run_reduction, run_span_log,
-    ExperimentKey, ExperimentResult, Job, JobOutcome, MatmulOutcome, Mode, Params, ReduceOutcome,
-    RunOptions,
+    paper_workload, run_concurrent, run_kernel, run_kernel_opts, run_keyed,
+    run_keyed_with_interrupt, run_matmul, run_matmul_opts, run_matmul_verified,
+    run_matmul_with_accounting, run_reduction, run_span_log, ExperimentKey, ExperimentResult, Job,
+    JobOutcome, KernelOutcome, MatmulOutcome, Mode, Params, ReduceOutcome, RunOptions, MATMUL,
 };
 pub use metrics::{efficiency, speedup, Breakdown};
+pub use pasm_kernels::{self as kernels, Kernel};
 pub use pasm_machine::{
     single_faults, FaultPlan, Machine, MachineConfig, NetFault, PeFault, PeFaultSpec, ReleaseMode,
     RunResult,

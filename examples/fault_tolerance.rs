@@ -80,6 +80,7 @@ fn main() {
         params,
         seed: 1988,
         fault: FaultPlan::parse("box:2:5").unwrap(),
+        workload: pasm::MATMUL,
     };
     let result = pasm::run_keyed(&key).expect("faulted keyed run");
     println!(

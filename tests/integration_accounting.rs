@@ -141,6 +141,7 @@ fn experiment_result_carries_the_bucket_totals() {
         params: Params::new(N, P),
         seed: SEED,
         fault: Default::default(),
+        workload: pasm::MATMUL,
     };
     let result = pasm::run_keyed(&key).expect("run");
     let total: u64 = result.pe_buckets.iter().sum();

@@ -19,6 +19,7 @@ fn key(mode: Mode, fault: FaultPlan) -> ExperimentKey {
         params: pasm::Params::new(8, if mode == Mode::Serial { 1 } else { 4 }),
         seed: 31337,
         fault,
+        workload: pasm::MATMUL,
     }
 }
 
@@ -45,6 +46,45 @@ fn faulted_runs_are_deterministic_too() {
     assert_eq!(first, second, "faulted runs diverged");
     assert_eq!(first.fault, "link:2:5");
     assert!(first.slowdown > 1.0, "rerouted link fault shows slowdown");
+}
+
+#[test]
+fn kernel_runs_are_deterministic() {
+    // Every registered workload, keyed twice: cycles, the full pe_buckets
+    // array, and the output checksum must agree byte for byte — the same
+    // contract the result cache relies on for matmul.
+    for kernel in pasm::kernels::names() {
+        for mode in [Mode::Simd, Mode::Mimd, Mode::Smimd] {
+            let key = ExperimentKey {
+                config: MachineConfig::prototype(),
+                mode,
+                params: pasm::Params::new(16, 4),
+                seed: 31337,
+                fault: FaultPlan::default(),
+                workload: kernel,
+            };
+            let first = run_keyed(&key).expect("first kernel run");
+            let second = run_keyed(&key).expect("second kernel run");
+            assert_eq!(first, second, "{kernel} {mode} runs diverged");
+            assert_eq!(first.workload, kernel);
+            assert!(first.c_checksum != 0, "{kernel} {mode}: checksum populated");
+        }
+    }
+}
+
+#[test]
+fn workload_field_keeps_matmul_fingerprints() {
+    // The `workload` member hashes only when it is not the default, so every
+    // pre-existing matmul fingerprint (and the server's on-disk cache) stays
+    // valid; distinct kernels must still get distinct fingerprints.
+    let matmul = key(Mode::Simd, FaultPlan::default());
+    let mut smooth = key(Mode::Simd, FaultPlan::default());
+    smooth.workload = "smooth";
+    assert_ne!(matmul.fingerprint(), smooth.fingerprint());
+    assert_eq!(matmul.fingerprint(), {
+        // Re-built from scratch: the fingerprint is content-addressed.
+        key(Mode::Simd, FaultPlan::default()).fingerprint()
+    });
 }
 
 #[test]

@@ -30,6 +30,7 @@ fn keyed(cfg: MachineConfig, mode: Mode, n: usize, p: usize, fault: FaultPlan) -
         params: pasm::Params::new(n, p),
         seed: 4242,
         fault,
+        workload: pasm::MATMUL,
     }
 }
 
