@@ -28,6 +28,12 @@ cargo run --release -q -p bench --bin faultsweep -- --quick >/dev/null
 echo "==> kernelsweep smoke-run (per-kernel mode placement, p=4)"
 cargo run --release -q -p bench --bin kernelsweep -- --quick >/dev/null
 
+echo "==> blockbench smoke-run (fast path byte-identical to interpreter)"
+cargo run --release -q -p bench --bin blockbench -- --quick >/dev/null
+
+echo "==> fast-path equivalence tests (kernels x modes x fault plans)"
+cargo test -q -p pasm --test integration_fastpath
+
 echo "==> kernel registry integration tests (all kernels x modes x p)"
 cargo test -q -p pasm --test integration_kernels --test integration_determinism
 

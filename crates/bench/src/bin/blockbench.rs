@@ -1,0 +1,265 @@
+//! `blockbench` — wall-clock payoff of the block-compiled fast path.
+//!
+//! Runs every registered kernel in all three parallel modes twice per grid
+//! cell — once on the block-compiled fast path, once forced onto the
+//! per-instruction interpreter (`RunOptions::fast_path = false`) — and
+//! reports the host wall-time ratio. Before timing is trusted, every cell's
+//! two runs are compared as full [`pasm::ExperimentResult`]s: simulated
+//! makespan, per-bucket cycle totals, instruction counts and output
+//! checksums must be byte-identical, or the bench exits nonzero. The fast
+//! path is an *optimization of the scheduler*, never of the timing model —
+//! see `docs/TIMING.md`.
+//!
+//! Grid: p ∈ {4, 8, 16} × the paper-scale sizes n ∈ {256, 1024} for the
+//! streaming kernels. `matmul` is O(n³) in simulated work and capped at
+//! n ≤ 512 by its generator, so it sweeps n ∈ {32, 64} instead — it
+//! contributes to the equivalence gate but not to the headline speed-up.
+//! Cells the kernel's own `validate` rejects (e.g. `bitonic` with a
+//! per-PE chunk that is not a power of two) are skipped, not failed.
+//!
+//! Gates:
+//! * every cell: fast-path results byte-identical to the interpreter's;
+//! * full mode only: the best speed-up at n = 1024, p = 16 must reach
+//!   [`MIN_SPEEDUP`]× — the fast path has to actually pay for its table.
+//!
+//! `ci.sh` runs `blockbench --quick` (small n, equivalence gate only).
+//! Results go to the top-level `BENCH_blockbench.json` in the stable
+//! `{name, config, metrics, schema_version}` trajectory schema.
+
+use pasm::{ExperimentResult, MachineConfig, Mode, Params, RunOptions};
+use pasm_util::{Json, ToJson};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const MODES: [Mode; 3] = [Mode::Simd, Mode::Mimd, Mode::Smimd];
+
+/// The headline cell: speed-up is judged at this partition and size.
+const GATE_N: usize = 1024;
+const GATE_P: usize = 16;
+
+/// Full-mode floor on the best n = 1024, p = 16 speed-up.
+///
+/// Measured on the reference container: bitonic S/MIMD ~5.2×, bitonic
+/// MIMD ~3.2×. The floor sits below the best cell with margin because
+/// host wall time drifts 2× and worse run to run under neighbor load. The ceiling is structural,
+/// not a tuning artifact: `exec_timed` alone costs ~14 ns/instr vs
+/// ~100 ns/instr for the full interpreter loop, and DRAM-refresh waits
+/// are time-dependent, so the fast path must still evaluate two burst
+/// delays per instruction instead of folding them per block — see the
+/// "What the block compiler cannot fold" section of `docs/TIMING.md`.
+const MIN_SPEEDUP: f64 = 2.5;
+
+/// Sizes per kernel. `matmul` is cubic in simulated instructions (and its
+/// generator rejects n > 512), so it gets the small pair; everything else
+/// runs the paper-scale pair the issue calls for.
+fn sizes(kernel: &str, quick: bool) -> &'static [usize] {
+    match (kernel, quick) {
+        ("matmul", true) => &[8],
+        ("matmul", false) => &[32, 64],
+        (_, true) => &[64],
+        (_, false) => &[256, 1024],
+    }
+}
+
+struct Row {
+    kernel: &'static str,
+    mode: Mode,
+    n: usize,
+    p: usize,
+    cycles: u64,
+    fast_ms: f64,
+    interp_ms: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kernel", Json::Str(self.kernel.to_string())),
+            ("mode", self.mode.to_json()),
+            ("n", Json::Int(self.n as i64)),
+            ("p", Json::Int(self.p as i64)),
+            ("cycles", Json::Int(self.cycles as i64)),
+            ("fast_wall_ms", Json::Float(self.fast_ms)),
+            ("interp_wall_ms", Json::Float(self.interp_ms)),
+            ("speedup", Json::Float(self.speedup)),
+            ("identical", Json::Bool(self.identical)),
+        ])
+    }
+}
+
+/// Run one cell with the fast path on or off, returning the summarized
+/// result and the host wall time in milliseconds.
+fn run_cell(
+    cfg: &MachineConfig,
+    kernel: &'static dyn pasm::Kernel,
+    mode: Mode,
+    params: Params,
+    input: &[u16],
+    seed: u64,
+    fast_path: bool,
+) -> Result<(ExperimentResult, f64), pasm_machine::RunError> {
+    let opts = RunOptions {
+        fast_path,
+        ..RunOptions::default()
+    };
+    let t0 = Instant::now();
+    let out = pasm::run_kernel_opts(cfg, kernel, mode, params, input, &opts)?;
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    Ok((ExperimentResult::from_kernel_outcome(&out, seed), wall))
+}
+
+fn main() -> ExitCode {
+    let quick = bench::quick_mode();
+    let cfg = MachineConfig::prototype();
+    let seed = pasm::figures::DEFAULT_SEED;
+    let ps: &[usize] = if quick { &[4] } else { &[4, 8, 16] };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failures = Vec::new();
+
+    println!("== block-compiled fast path vs per-instruction interpreter ==");
+    println!(
+        "{:>8} {:>6} {:>6} {:>4} {:>12} {:>10} {:>10} {:>8} {:>6}",
+        "kernel", "mode", "n", "p", "cycles", "interp ms", "fast ms", "speedup", "equal"
+    );
+    for kernel in pasm::kernels::kernels().iter().copied() {
+        for &n in sizes(kernel.name(), quick) {
+            let input = kernel.generate(n, seed);
+            for &p in ps {
+                if kernel.validate(n, p).is_err() {
+                    continue; // out of the kernel's own bounds, not a failure
+                }
+                for mode in MODES {
+                    let params = Params::new(n, p);
+                    let interp = run_cell(&cfg, kernel, mode, params, &input, seed, false);
+                    let fast = run_cell(&cfg, kernel, mode, params, &input, seed, true);
+                    let ((interp_res, interp_ms), (fast_res, fast_ms)) = match (interp, fast) {
+                        (Ok(i), Ok(f)) => (i, f),
+                        (i, f) => {
+                            let e = i.err().or(f.err()).unwrap();
+                            failures.push(format!("{} {mode} n={n} p={p}: {e}", kernel.name()));
+                            continue;
+                        }
+                    };
+                    let identical = fast_res == interp_res;
+                    if !identical {
+                        failures.push(format!(
+                            "{} {mode} n={n} p={p}: fast path diverged from interpreter \
+                             (cycles {} vs {}, buckets {:?} vs {:?})",
+                            kernel.name(),
+                            fast_res.cycles,
+                            interp_res.cycles,
+                            fast_res.pe_buckets,
+                            interp_res.pe_buckets,
+                        ));
+                    }
+                    let speedup = interp_ms / fast_ms.max(1e-9);
+                    println!(
+                        "{:>8} {:>6} {:>6} {:>4} {:>12} {:>10.2} {:>10.2} {:>7.2}x {:>6}",
+                        kernel.name(),
+                        format!("{mode}"),
+                        n,
+                        p,
+                        fast_res.cycles,
+                        interp_ms,
+                        fast_ms,
+                        speedup,
+                        if identical { "yes" } else { "NO" },
+                    );
+                    rows.push(Row {
+                        kernel: kernel.name(),
+                        mode,
+                        n,
+                        p,
+                        cycles: fast_res.cycles,
+                        fast_ms,
+                        interp_ms,
+                        speedup,
+                        identical,
+                    });
+                }
+            }
+        }
+    }
+    println!();
+
+    // Headline: best speed-up at the gate cell (full mode only — quick runs
+    // are too short for stable wall times, so they gate equivalence only).
+    let gate_best = rows
+        .iter()
+        .filter(|r| r.n == GATE_N && r.p == GATE_P)
+        .map(|r| r.speedup)
+        .fold(0.0f64, f64::max);
+    if !quick {
+        if gate_best >= MIN_SPEEDUP {
+            println!(
+                "blockbench: best n={GATE_N} p={GATE_P} speedup {gate_best:.1}x \
+                 (gate: >= {MIN_SPEEDUP:.1}x)"
+            );
+        } else {
+            failures.push(format!(
+                "fast path too slow: best n={GATE_N} p={GATE_P} speedup \
+                 {gate_best:.2}x < {MIN_SPEEDUP:.1}x"
+            ));
+        }
+    }
+
+    let config = Json::obj(vec![
+        ("preset", Json::Str("prototype".to_string())),
+        ("quick", Json::Bool(quick)),
+        ("seed", Json::Int(seed as i64)),
+        (
+            "ps",
+            Json::Arr(ps.iter().map(|&p| Json::Int(p as i64)).collect()),
+        ),
+        (
+            "sizes",
+            Json::obj(
+                pasm::kernels::kernels()
+                    .iter()
+                    .map(|k| {
+                        (
+                            k.name(),
+                            Json::Arr(
+                                sizes(k.name(), quick)
+                                    .iter()
+                                    .map(|&n| Json::Int(n as i64))
+                                    .collect(),
+                            ),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        ("gate_n", Json::Int(GATE_N as i64)),
+        ("gate_p", Json::Int(GATE_P as i64)),
+        ("min_speedup", Json::Float(MIN_SPEEDUP)),
+    ]);
+    let metrics = Json::obj(vec![
+        (
+            "rows",
+            Json::Arr(rows.iter().map(ToJson::to_json).collect()),
+        ),
+        ("gate_best_speedup", Json::Float(gate_best)),
+        (
+            "all_identical",
+            Json::Bool(rows.iter().all(|r| r.identical)),
+        ),
+    ]);
+    bench::save_bench_json("blockbench", config, metrics);
+
+    if failures.is_empty() {
+        println!(
+            "blockbench: {} cells, fast path byte-identical to the interpreter in all of them",
+            rows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

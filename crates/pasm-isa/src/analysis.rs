@@ -146,6 +146,78 @@ pub fn block_bounds(block: &[Instr]) -> TimingBounds {
         })
 }
 
+/// A basic block of a program's main instruction stream: the half-open
+/// instruction-index span `[start, end)` of a maximal straight-line run —
+/// control enters only at `start` (a *leader*) and leaves only at the last
+/// instruction (a control transfer, or the instruction before the next
+/// leader).
+///
+/// This is the unit the `pasm-machine` block compiler folds static cycle
+/// costs over: within a block, every instruction executes exactly once per
+/// entry, so the static parts of [`timing::cycle_split`] sum into one
+/// per-block constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockSpan {
+    /// Index of the block's first instruction (a leader).
+    pub start: usize,
+    /// Exclusive end index.
+    pub end: usize,
+}
+
+impl BlockSpan {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for a degenerate empty span (never produced by [`basic_blocks`]).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Leader flags for an instruction stream: `true` at every index where a
+/// basic block begins. Index 0, every branch target, and every instruction
+/// following a control transfer (including `JSR` return points and the
+/// fall-through of a conditional branch) are leaders.
+pub fn block_leaders(instrs: &[Instr]) -> Vec<bool> {
+    let mut leader = vec![false; instrs.len()];
+    if let Some(l) = leader.first_mut() {
+        *l = true;
+    }
+    for (i, instr) in instrs.iter().enumerate() {
+        if instr.is_control_flow() {
+            if let Some(t) = instr.target() {
+                if t < leader.len() {
+                    leader[t] = true;
+                }
+            }
+            if i + 1 < leader.len() {
+                leader[i + 1] = true;
+            }
+        }
+    }
+    leader
+}
+
+/// Partition an instruction stream into basic blocks (see [`BlockSpan`]).
+///
+/// The returned spans are in program order, non-empty, and tile `[0, len)`
+/// exactly: every instruction belongs to exactly one block.
+pub fn basic_blocks(instrs: &[Instr]) -> Vec<BlockSpan> {
+    let leader = block_leaders(instrs);
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    for i in 0..instrs.len() {
+        let last_of_block = instrs[i].is_control_flow() || i + 1 == instrs.len() || leader[i + 1];
+        if last_of_block {
+            blocks.push(BlockSpan { start, end: i + 1 });
+            start = i + 1;
+        }
+    }
+    blocks
+}
+
 /// Probability mass function of `popcount(U)` for `U ~ Uniform(0..2^16)`:
 /// Binomial(16, ½).
 fn popcount_pmf() -> [f64; 17] {
@@ -341,6 +413,90 @@ mod tests {
             count: ShiftCount::Reg(D1),
             dst: D0,
         }));
+    }
+
+    #[test]
+    fn basic_blocks_of_a_loop() {
+        // 0: MOVEQ          \ block [0,2): falls into the loop head
+        // 1: MOVEQ          /
+        // 2: ADD            \ block [2,4): loop body, ends at the DBRA
+        // 3: DBRA -> 2      /
+        // 4: NOP            \ block [4,6): DBRA fall-through, ends at HALT
+        // 5: HALT           /
+        let instrs = [
+            Instr::Moveq { value: 0, dst: D0 },
+            Instr::Moveq { value: 7, dst: D1 },
+            Instr::Add {
+                size: Size::Word,
+                src: Ea::D(D1),
+                dst: D0,
+            },
+            Instr::Dbra { dst: D1, target: 2 },
+            Instr::Nop,
+            Instr::Halt,
+        ];
+        let blocks = basic_blocks(&instrs);
+        assert_eq!(
+            blocks,
+            vec![
+                BlockSpan { start: 0, end: 2 },
+                BlockSpan { start: 2, end: 4 },
+                BlockSpan { start: 4, end: 6 },
+            ]
+        );
+        for b in &blocks {
+            assert!(!b.is_empty());
+        }
+        assert_eq!(blocks[1].len(), 2);
+    }
+
+    #[test]
+    fn basic_blocks_tile_the_stream_exactly() {
+        // A branch target mid-stream splits the fall-through block.
+        let instrs = [
+            Instr::Nop,
+            Instr::Bcc {
+                cond: crate::Cond::Eq,
+                target: 3,
+            },
+            Instr::Nop, // leader: Bcc fall-through
+            Instr::Nop, // leader: Bcc target
+            Instr::Halt,
+        ];
+        let blocks = basic_blocks(&instrs);
+        assert_eq!(
+            blocks,
+            vec![
+                BlockSpan { start: 0, end: 2 },
+                BlockSpan { start: 2, end: 3 },
+                BlockSpan { start: 3, end: 5 },
+            ]
+        );
+        // Tiling invariant: consecutive, non-empty, covering [0, len).
+        let mut next = 0;
+        for b in &blocks {
+            assert_eq!(b.start, next);
+            assert!(b.end > b.start);
+            next = b.end;
+        }
+        assert_eq!(next, instrs.len());
+        // Interior instructions are never control flow and never leaders.
+        let leaders = block_leaders(&instrs);
+        for b in &blocks {
+            for i in b.start..b.end - 1 {
+                assert!(!instrs[i].is_control_flow());
+                if i > b.start {
+                    assert!(!leaders[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn basic_blocks_of_empty_and_straight_line_streams() {
+        assert!(basic_blocks(&[]).is_empty());
+        let instrs = [Instr::Nop, Instr::Nop, Instr::Nop];
+        assert_eq!(basic_blocks(&instrs), vec![BlockSpan { start: 0, end: 3 }]);
     }
 
     #[test]

@@ -160,7 +160,7 @@ impl fmt::Display for ShiftCount {
 ///   [`Instr::StartPes`] — MC-side Fetch-Unit and orchestration operations.
 /// * [`Instr::Mark`] — zero-cost instrumentation delimiting the measured phases
 ///   (multiplication / communication / other) used for the Fig. 8–10 breakdowns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instr {
     // --- data movement ---
     Move {

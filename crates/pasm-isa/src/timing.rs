@@ -215,6 +215,132 @@ pub fn dbra_cycles(expired: bool) -> u32 {
     }
 }
 
+/// The data-dependent part of an instruction's core time, as a *term* the
+/// block compiler can evaluate at run time against an [`ExecCtx`].
+///
+/// [`cycle_split`] decomposes every instruction into a static constant plus
+/// exactly one of these terms, with the invariant (pinned by the
+/// `decomposition` tests)
+///
+/// ```text
+/// base_cycles(i, ctx) == cycle_split(i).static_cycles
+///                      + dynamic_cycles(cycle_split(i).dynamic, ctx)
+/// ```
+///
+/// for every instruction and every context. Most instructions carry
+/// [`DynTerm::None`]; the exceptions are the paper's non-deterministic-time
+/// instructions (multiplies, divides, register-count shifts) and the two
+/// branch forms whose arms differ in cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DynTerm {
+    /// Fully static: the instruction's cost never depends on data.
+    #[default]
+    None,
+    /// `MULU`: `2·ones(src)` — 0 to 32 extra cycles over the 38-cycle floor.
+    MuluOnes,
+    /// `MULS`: `2·transitions(src << 1)` over the same 38-cycle floor.
+    MulsTransitions,
+    /// `DIVU`: `divu_cycles(dst, src) − 10`; the static part is the 10-cycle
+    /// overflow early-out, the term spans 0 and 66–130.
+    DivuQuotient,
+    /// `DIVS`: `divs_cycles(dst, src) − 18`; the static part is the early-out
+    /// plus the constant 8-cycle sign fix-up.
+    DivsQuotient,
+    /// Register-count shifts: `2·count` over the 6/8-cycle base.
+    ShiftCount,
+    /// Conditional `Bcc` (not `BRA`): `+2` on fall-through (taken = 10,
+    /// not taken = 12).
+    BccFallThrough,
+    /// `DBRA`: `+4` when the counter expires (taken = 10, expired = 14).
+    DbraExpired,
+}
+
+/// An instruction's core time split into a compile-time constant and a
+/// run-time term (see [`cycle_split`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CycleSplit {
+    /// Cycles charged regardless of data: the instruction's minimum core
+    /// time, including all effective-address fetch cost.
+    pub static_cycles: u32,
+    /// The data-dependent remainder, evaluated via [`dynamic_cycles`].
+    pub dynamic: DynTerm,
+    /// [`Instr::words`], folded at split time: instruction words fetched,
+    /// a pure function of the encoding.
+    pub fetch_words: u32,
+    /// [`data_accesses`], folded at split time: 16-bit operand bus accesses,
+    /// likewise static per instruction.
+    pub data_accesses: u32,
+}
+
+impl CycleSplit {
+    /// True when the instruction's core time is a compile-time constant.
+    pub fn is_static(&self) -> bool {
+        self.dynamic == DynTerm::None
+    }
+}
+
+/// Decompose an instruction's [`base_cycles`] into `static + dynamic(ctx)`.
+///
+/// This is the per-opcode table the `pasm-machine` block compiler folds over
+/// a basic block: the static parts sum into one per-block constant, the
+/// dynamic terms remain to be evaluated against each execution's [`ExecCtx`].
+pub fn cycle_split(instr: &Instr) -> CycleSplit {
+    let (static_cycles, dynamic) = match *instr {
+        Instr::Mulu { src, .. } => (38 + ea_fetch_cycles(src, Size::Word), DynTerm::MuluOnes),
+        Instr::Muls { src, .. } => (
+            38 + ea_fetch_cycles(src, Size::Word),
+            DynTerm::MulsTransitions,
+        ),
+        Instr::Divu { src, .. } => (10 + ea_fetch_cycles(src, Size::Word), DynTerm::DivuQuotient),
+        Instr::Divs { src, .. } => (18 + ea_fetch_cycles(src, Size::Word), DynTerm::DivsQuotient),
+        Instr::Shift {
+            size,
+            count: ShiftCount::Reg(_),
+            ..
+        } => (shift_cycles(size, 0), DynTerm::ShiftCount),
+        Instr::Bcc {
+            cond: Cond::True, ..
+        } => (10, DynTerm::None),
+        Instr::Bcc { .. } => (10, DynTerm::BccFallThrough),
+        Instr::Dbra { .. } => (10, DynTerm::DbraExpired),
+        // Everything else ignores the context entirely.
+        _ => (base_cycles(instr, ExecCtx::default()), DynTerm::None),
+    };
+    CycleSplit {
+        static_cycles,
+        dynamic,
+        fetch_words: instr.words(),
+        data_accesses: data_accesses(instr),
+    }
+}
+
+/// Evaluate a [`DynTerm`] against the run-time facts of one execution.
+#[inline]
+pub fn dynamic_cycles(term: DynTerm, ctx: ExecCtx) -> u32 {
+    match term {
+        DynTerm::None => 0,
+        DynTerm::MuluOnes => 2 * ones(ctx.src_value as u16),
+        DynTerm::MulsTransitions => muls_cycles(ctx.src_value as u16) - 38,
+        DynTerm::DivuQuotient => divu_cycles(ctx.dst_value, ctx.src_value as u16) - 10,
+        DynTerm::DivsQuotient => divs_cycles(ctx.dst_value, ctx.src_value as u16) - 18,
+        DynTerm::ShiftCount => 2 * ctx.shift_count,
+        DynTerm::BccFallThrough => {
+            if ctx.branch_taken {
+                0
+            } else {
+                2
+            }
+        }
+        DynTerm::DbraExpired => {
+            if ctx.loop_expired {
+                4
+            } else {
+                0
+            }
+        }
+    }
+}
+
 fn alu_to_reg(size: Size, src: Ea) -> u32 {
     // ADD/SUB/AND/OR/CMP <ea>,Dn
     let ea = ea_fetch_cycles(src, size);

@@ -8,7 +8,7 @@
 //! architectural state unchanged — the machine re-issues it when the resource
 //! frees, which models the hardware holding the bus cycle.
 
-use pasm_isa::timing::{self, ExecCtx};
+use pasm_isa::timing::{self, CycleSplit, ExecCtx};
 use pasm_isa::{Ccr, Ea, Instr, ShiftCount, ShiftKind, Size};
 
 /// Architectural state of one MC68000-style processor.
@@ -32,6 +32,10 @@ pub enum Block {
     NetTxFull,
     /// Read of the network receive register with no byte in flight.
     NetRxEmpty,
+    /// The instruction touched a memory-mapped region the current bus does not
+    /// model. Used by the block-compiled fast path to bail out to the full
+    /// per-instruction path *before* any device state changes.
+    Mmio,
 }
 
 /// Side effects the machine must act on after an instruction completes.
@@ -148,9 +152,9 @@ fn ea_addr(cpu: &Cpu, pend: &mut Pending, ea: Ea, size: Size) -> u32 {
 }
 
 /// Read an operand (sized, zero-extended into u32).
-fn read_ea(
+fn read_ea<B: Bus + ?Sized>(
     cpu: &Cpu,
-    bus: &mut dyn Bus,
+    bus: &mut B,
     pend: &mut Pending,
     ea: Ea,
     size: Size,
@@ -167,9 +171,9 @@ fn read_ea(
 }
 
 /// Write an operand.
-fn write_ea(
+fn write_ea<B: Bus + ?Sized>(
     cpu: &mut Cpu,
-    bus: &mut dyn Bus,
+    bus: &mut B,
     pend: &mut Pending,
     ea: Ea,
     size: Size,
@@ -218,7 +222,25 @@ fn sub_flags(ccr: &mut Ccr, size: Size, d: u32, s: u32, r: u32, set_x: bool) {
 /// Execute one instruction. On success the PC has been advanced (sequentially
 /// or to a branch target) and all effects applied; on [`StepOutcome::Blocked`]
 /// no state has changed.
-pub fn exec(cpu: &mut Cpu, bus: &mut dyn Bus, instr: &Instr) -> StepOutcome {
+pub fn exec<B: Bus + ?Sized>(cpu: &mut Cpu, bus: &mut B, instr: &Instr) -> StepOutcome {
+    exec_timed(cpu, bus, instr, None)
+}
+
+/// [`exec`] with a precomputed static/dynamic cycle decomposition.
+///
+/// When `split` is given (the block compiler caches one
+/// [`CycleSplit`] per instruction), the core cycle charge is computed as
+/// `split.static_cycles + dynamic_cycles(split.dynamic, ctx)` instead of
+/// re-deriving the full [`timing::base_cycles`] table lookup. The two are
+/// equal for every instruction × context — the invariant is pinned by the
+/// `pasm-isa` decomposition tests — so the fast path charges byte-identical
+/// cycles while paying only for the dynamic term.
+pub fn exec_timed<B: Bus + ?Sized>(
+    cpu: &mut Cpu,
+    bus: &mut B,
+    instr: &Instr,
+    split: Option<&CycleSplit>,
+) -> StepOutcome {
     let mut pend = Pending::default();
     let mut ctx = ExecCtx::default();
     let mut effect = Effect::None;
@@ -611,10 +633,25 @@ pub fn exec(cpu: &mut Cpu, bus: &mut dyn Bus, instr: &Instr) -> StepOutcome {
 
     pend.commit(cpu);
     cpu.pc = next_pc;
+    // The split carries the instruction's folded timing facts; without one,
+    // recompute them from the encoding (identical by the decomposition
+    // invariant, pinned by the `decomposition` test suite).
+    let (cycles, fetch_words, data_accesses) = match split {
+        Some(s) => (
+            s.static_cycles + timing::dynamic_cycles(s.dynamic, ctx),
+            s.fetch_words,
+            s.data_accesses,
+        ),
+        None => (
+            timing::base_cycles(instr, ctx),
+            instr.words(),
+            timing::data_accesses(instr),
+        ),
+    };
     StepOutcome::Done(StepResult {
-        cycles: timing::base_cycles(instr, ctx),
-        fetch_words: instr.words(),
-        data_accesses: timing::data_accesses(instr),
+        cycles,
+        fetch_words,
+        data_accesses,
         mulu_cycles,
         effect,
     })

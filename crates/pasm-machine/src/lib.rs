@@ -28,6 +28,7 @@
 //! [`CycleAccount`]s bucketing every simulated cycle by cause ([`account`]).
 
 pub mod account;
+pub mod block;
 pub mod config;
 pub mod cpu;
 pub mod fault;
@@ -36,6 +37,7 @@ pub mod machine;
 pub mod trace;
 
 pub use account::{Bucket, CycleAccount, MachineAccounts, PhaseSpan, BUCKET_NAMES, N_BUCKETS};
+pub use block::{CompiledBlock, CompiledProgram, InstrMeta};
 pub use config::{MachineConfig, ReleaseMode};
 pub use cpu::{Cpu, Effect, StepOutcome};
 pub use fault::{FaultPlan, PeFault, PeFaultSpec};

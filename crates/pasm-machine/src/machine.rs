@@ -9,16 +9,18 @@
 //! actual polling instructions, and SIMD superlinearity from the MC executing
 //! control flow while its PEs compute.
 
-use crate::account::{variance_cycles, Bucket, MachineAccounts};
+use crate::account::{self, variance_cycles, Bucket, MachineAccounts};
+use crate::block::{self, CompiledProgram};
 use crate::config::{MachineConfig, ReleaseMode};
-use crate::cpu::{exec, Block, Bus, Cpu, Effect, McEffect, MemBus, StepOutcome};
+use crate::cpu::{exec, exec_timed, Block, Bus, Cpu, Effect, McEffect, MemBus, StepOutcome};
 use crate::fault::{FaultPlan, PeFault};
 use crate::fetch_unit::{EntryKind, FetchUnit, FuStats, QueueEntry};
 use crate::trace::{McTrace, PeTrace};
 use pasm_isa::{Instr, Program, Size};
 use pasm_mem::map::{self, MemMap, NetReg, Region};
-use pasm_mem::Memory;
+use pasm_mem::{BurstClock, Memory};
 use pasm_net::{ring_circuits, CircuitId, EscNetwork, NetError};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -89,6 +91,9 @@ struct Pe {
     /// Queue cursor for `ReleaseMode::Decoupled`.
     cursor: usize,
     trace: PeTrace,
+    /// Block table of `program`, shared via the machine's fingerprint cache;
+    /// `None` forces the per-instruction path (fault-plan invalidation).
+    compiled: Option<Arc<CompiledProgram>>,
 }
 
 struct Mc {
@@ -98,6 +103,8 @@ struct Mc {
     state: McState,
     ready_at: u64,
     trace: McTrace,
+    /// Block table of `program` (see [`Pe::compiled`]).
+    compiled: Option<Arc<CompiledProgram>>,
 }
 
 /// Result of a completed run.
@@ -192,6 +199,12 @@ pub struct Machine {
     pe_faults: Vec<Option<PeFault>>,
     /// Cooperative cancellation: checked periodically by [`Machine::run`].
     interrupt: Option<Arc<AtomicBool>>,
+    /// Block tables keyed by program fingerprint; components running the same
+    /// program (every PE of a data-parallel kernel) share one compilation.
+    block_cache: HashMap<u64, Arc<CompiledProgram>>,
+    /// Block-compiled fast path enabled (default). Timing and accounting are
+    /// byte-identical either way — gated by the equivalence tests.
+    fast_path: bool,
 }
 
 enum Component {
@@ -215,6 +228,7 @@ impl Machine {
                 pending: None,
                 cursor: 0,
                 trace: PeTrace::default(),
+                compiled: None,
             })
             .collect();
         let mcs = (0..cfg.n_mcs)
@@ -225,6 +239,7 @@ impl Machine {
                 state: McState::Idle,
                 ready_at: 0,
                 trace: McTrace::default(),
+                compiled: None,
             })
             .collect();
         let fus = (0..cfg.n_mcs)
@@ -248,7 +263,41 @@ impl Machine {
             acct,
             pe_faults,
             interrupt: None,
+            block_cache: HashMap::new(),
+            fast_path: true,
         }
+    }
+
+    /// Enable or disable the block-compiled fast path (enabled by default).
+    /// Disabling it forces the per-instruction interpreter everywhere; the
+    /// simulated timing, traces and cycle accounts are identical either way.
+    /// Like the accounting toggle, this is deliberately not part of
+    /// [`MachineConfig`]: it changes how fast the simulator runs, never what
+    /// it simulates.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+    }
+
+    /// Whether the block-compiled fast path is active.
+    pub fn fast_path_enabled(&self) -> bool {
+        self.fast_path
+    }
+
+    /// The block table a PE's loaded program compiled to (diagnostics), or
+    /// `None` if the PE was invalidated back to the per-instruction path.
+    pub fn pe_compiled(&self, pe: usize) -> Option<&CompiledProgram> {
+        self.pes[pe].compiled.as_deref()
+    }
+
+    /// Fetch or build the shared block table for a program.
+    fn compile_program(&mut self, program: &Program) -> Arc<CompiledProgram> {
+        let fp = block::fingerprint(&program.instrs);
+        if let Some(c) = self.block_cache.get(&fp) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(block::compile(&program.instrs));
+        self.block_cache.insert(fp, Arc::clone(&c));
+        c
     }
 
     /// Enable or disable cycle accounting (enabled by default). Disabling it
@@ -293,13 +342,17 @@ impl Machine {
     /// Load a PE's MIMD program.
     pub fn load_pe_program(&mut self, pe: usize, program: Program) {
         program.validate().expect("invalid PE program");
+        let compiled = self.compile_program(&program);
         self.pes[pe].program = program;
+        self.pes[pe].compiled = (self.pe_faults[pe].is_none()).then_some(compiled);
     }
 
     /// Load an MC's control program.
     pub fn load_mc_program(&mut self, mc: usize, program: Program) {
         program.validate().expect("invalid MC program");
+        let compiled = self.compile_program(&program);
         self.mcs[mc].program = program;
+        self.mcs[mc].compiled = Some(compiled);
         self.mcs[mc].state = McState::Ready;
     }
 
@@ -337,6 +390,10 @@ impl Machine {
         self.esc.apply_faults(&plan.net);
         for spec in &plan.pe {
             self.pe_faults[spec.pe] = Some(spec.kind);
+            // A faulted PE's timing model no longer matches its block table
+            // (slow-PE wait states, stuck ports): drop it so the PE re-enters
+            // the per-instruction path. Unaffected PEs keep their tables.
+            self.pes[spec.pe].compiled = None;
         }
         Ok(())
     }
@@ -499,7 +556,113 @@ impl Machine {
     // PE stepping
     // ------------------------------------------------------------------
 
+    /// Block-compiled fast path for a PE: execute straight-line MIMD work
+    /// without returning to the event scheduler between instructions.
+    ///
+    /// Sound because a Ready MIMD-mode PE touching only its own memory cannot
+    /// interact with any other component: nothing external mutates a Ready
+    /// PE, and instructions without machine effects have none outward — so
+    /// running the PE arbitrarily far ahead of global time commutes with any
+    /// scheduler interleaving. The loop leaves (and the per-instruction path
+    /// takes over) at every *stop* instruction (mode switch, barrier, halt),
+    /// at any memory-mapped access ([`Block::Mmio`], raised before any state
+    /// changes), past the cycle budget, and after [`FAST_BATCH`] instructions
+    /// so interrupts stay responsive. Charges per instruction are computed
+    /// exactly as in [`Machine::step_pe`] — including per-access
+    /// refresh-sensitive DRAM waits — so traces and cycle accounts are
+    /// byte-identical.
+    ///
+    /// Returns `true` if at least one instruction was executed.
+    fn try_fast_pe(&mut self, i: usize) -> bool {
+        if self.pes[i].mode != PeMode::Mimd
+            || self.pes[i].pending.is_some()
+            || self.pe_faults[i].is_some()
+        {
+            return false;
+        }
+        let Some(compiled) = self.pes[i].compiled.clone() else {
+            return false;
+        };
+        let max_cycles = self.cfg.max_cycles;
+        let pe = &mut self.pes[i];
+        let mut acc = self.acct.as_mut().map(|a| &mut a.pe[i]);
+        let mut now = pe.ready_at;
+        // Incremental refresh phase: same delays as `pe_dram.burst_delay(now,
+        // …)` without the per-access modulo (property-tested in `pasm-mem`).
+        let mut clock = BurstClock::new(self.cfg.pe_dram, now);
+        let mut executed = false;
+        // Trace counters and cycle buckets are sums, so they accumulate in
+        // locals across the batch and flush once at the end — the final
+        // state is identical to charging per instruction, without the
+        // per-instruction read-modify-writes.
+        let mut batch = BatchCharges::default();
+        for _ in 0..FAST_BATCH {
+            if now > max_cycles {
+                break;
+            }
+            let pc = pe.cpu.pc;
+            let Some(m) = compiled.meta.get(pc) else {
+                panic!("PE {i}: pc {pc} fell off the program");
+            };
+            if m.stop {
+                break;
+            }
+            let instr = m.instr;
+            let r = match exec_timed(
+                &mut pe.cpu,
+                &mut MainOnlyBus(&mut pe.mem),
+                &instr,
+                Some(&m.split),
+            ) {
+                StepOutcome::Done(r) => r,
+                // MMIO touched: nothing changed — the per-instruction path
+                // re-executes this instruction against the full PE bus.
+                StepOutcome::Blocked(_) => break,
+            };
+            let fetch_wait = clock.burst_delay(0, r.fetch_words);
+            let data_wait = clock.burst_delay(fetch_wait, r.data_accesses);
+            let duration = r.cycles as u64 + fetch_wait + data_wait;
+            clock.advance(duration);
+            now += duration;
+            executed = true;
+            batch.busy += duration;
+            batch.fetch_wait += fetch_wait;
+            batch.data_wait += data_wait;
+            if r.mulu_cycles > 0 {
+                batch.mul_count += 1;
+                batch.mul_cycles += r.mulu_cycles as u64;
+            }
+            if let Some(a) = acc.as_deref_mut() {
+                // Same value as `variance_cycles(&instr, r.mulu_cycles)`:
+                // `mulu_cycles` is nonzero only for the four opcodes whose
+                // floor is folded into `variance_min` (pinned in `block.rs`).
+                let var = r.mulu_cycles.saturating_sub(m.variance_min) as u64;
+                batch.compute += r.cycles as u64 - var;
+                batch.variance += var;
+                a.record_instr(&instr, duration);
+            }
+            match r.effect {
+                // Only `Mark` escapes the count: every other fast-path
+                // instruction is effect-free by the stop classification.
+                Effect::None => batch.instrs += 1,
+                Effect::Mark { begin, phase } => {
+                    pe.trace.mark(begin, phase, now);
+                    if let Some(a) = acc.as_deref_mut() {
+                        a.mark(begin, phase, now);
+                    }
+                }
+                other => unreachable!("fast path executed effectful {other:?}"),
+            }
+        }
+        pe.ready_at = now;
+        batch.flush(&mut pe.trace, acc);
+        executed
+    }
+
     fn step_pe(&mut self, i: usize) {
+        if self.fast_path && self.try_fast_pe(i) {
+            return;
+        }
         let now = self.pes[i].ready_at;
 
         let (instr, simd_delivered) = match self.pes[i].pending {
@@ -556,6 +719,9 @@ impl Machine {
             StepOutcome::Blocked(Block::NetRxEmpty) => {
                 self.pes[i].state = PeState::AwaitNetRx { since: now };
                 return;
+            }
+            StepOutcome::Blocked(Block::Mmio) => {
+                unreachable!("PE {i}: full bus raised the fast-path-only Mmio block")
             }
             StepOutcome::Done(r) => r,
         };
@@ -841,7 +1007,78 @@ impl Machine {
     // MC stepping
     // ------------------------------------------------------------------
 
+    /// Block-compiled fast path for an MC: the control-flow arithmetic between
+    /// Fetch-Unit commands runs without scheduler round-trips. Every
+    /// Fetch-Unit command (and `HALT`) is a stop instruction, so interaction
+    /// points — including the enqueue stall check — always go through
+    /// [`Machine::step_mc`]. MCs execute against plain memory (no MMIO), so
+    /// the only exits are stops, the cycle budget, and the batch cap.
+    fn try_fast_mc(&mut self, i: usize) -> bool {
+        let Some(compiled) = self.mcs[i].compiled.clone() else {
+            return false;
+        };
+        let max_cycles = self.cfg.max_cycles;
+        let mc = &mut self.mcs[i];
+        let mut acc = self.acct.as_mut().map(|a| &mut a.mc[i]);
+        let mut now = mc.ready_at;
+        let mut clock = BurstClock::new(self.cfg.mc_dram, now);
+        let mut executed = false;
+        let mut batch = BatchCharges::default();
+        for _ in 0..FAST_BATCH {
+            if now > max_cycles {
+                break;
+            }
+            let pc = mc.cpu.pc;
+            let Some(m) = compiled.meta.get(pc) else {
+                panic!("MC {i}: pc {pc} fell off the program");
+            };
+            if m.stop {
+                break;
+            }
+            let instr = m.instr;
+            let r = match exec_timed(
+                &mut mc.cpu,
+                &mut MemBus(&mut mc.mem),
+                &instr,
+                Some(&m.split),
+            ) {
+                StepOutcome::Done(r) => r,
+                StepOutcome::Blocked(b) => panic!("MC {i} blocked on {b:?} — MCs have no network"),
+            };
+            let fetch_wait = clock.burst_delay(0, r.fetch_words);
+            let data_wait = clock.burst_delay(fetch_wait, r.data_accesses);
+            let duration = r.cycles as u64 + fetch_wait + data_wait;
+            clock.advance(duration);
+            now += duration;
+            executed = true;
+            batch.busy += duration;
+            batch.fetch_wait += fetch_wait;
+            batch.data_wait += data_wait;
+            if let Some(a) = acc.as_deref_mut() {
+                let var = r.mulu_cycles.saturating_sub(m.variance_min) as u64;
+                batch.compute += r.cycles as u64 - var;
+                batch.variance += var;
+                a.record_instr(&instr, duration);
+            }
+            match r.effect {
+                Effect::None => batch.instrs += 1,
+                Effect::Mark { begin, phase } => {
+                    if let Some(a) = acc.as_deref_mut() {
+                        a.mark(begin, phase, now);
+                    }
+                }
+                other => unreachable!("fast path executed effectful {other:?}"),
+            }
+        }
+        mc.ready_at = now;
+        batch.flush_mc(&mut mc.trace, acc);
+        executed
+    }
+
     fn step_mc(&mut self, i: usize) {
+        if self.fast_path && self.try_fast_mc(i) {
+            return;
+        }
         let now = self.mcs[i].ready_at;
         let pc = self.mcs[i].cpu.pc;
         assert!(
@@ -948,6 +1185,79 @@ impl Machine {
                 self.mcs[i].state = McState::Ready;
                 self.mcs[i].ready_at = wake;
             }
+        }
+    }
+}
+
+/// Instructions the fast path executes per scheduler turn before yielding, so
+/// cooperative interrupt checks in [`Machine::run`] stay responsive. Purely a
+/// latency bound: where the loop breaks never changes simulated state.
+const FAST_BATCH: u32 = 4096;
+
+/// Additive trace/bucket charges of one fast batch, accumulated in locals and
+/// flushed once: the result is identical to charging per instruction, the
+/// cost is one set of read-modify-writes per batch instead of per step.
+#[derive(Default)]
+struct BatchCharges {
+    instrs: u64,
+    busy: u64,
+    fetch_wait: u64,
+    data_wait: u64,
+    mul_count: u64,
+    mul_cycles: u64,
+    compute: u64,
+    variance: u64,
+}
+
+impl BatchCharges {
+    fn flush(self, t: &mut PeTrace, acc: Option<&mut account::CycleAccount>) {
+        t.instrs += self.instrs;
+        t.busy_cycles += self.busy;
+        t.fetch_wait_cycles += self.fetch_wait;
+        t.data_wait_cycles += self.data_wait;
+        t.mul_count += self.mul_count;
+        t.mul_cycles += self.mul_cycles;
+        self.flush_account(acc);
+    }
+
+    fn flush_mc(self, t: &mut McTrace, acc: Option<&mut account::CycleAccount>) {
+        t.instrs += self.instrs;
+        t.busy_cycles += self.busy;
+        self.flush_account(acc);
+    }
+
+    fn flush_account(&self, acc: Option<&mut account::CycleAccount>) {
+        if let Some(a) = acc {
+            a.charge(Bucket::Compute, self.compute);
+            a.charge(Bucket::MultiplyVariance, self.variance);
+            a.charge(Bucket::Fetch, self.fetch_wait);
+            a.charge(Bucket::MemoryWait, self.data_wait);
+        }
+    }
+}
+
+/// Bus of the fast path: main memory only. Any memory-mapped access (network
+/// registers, SIMD space, timer) raises [`Block::Mmio`] *before* touching
+/// device state, so the instruction can be re-issued on the full [`PeBus`] by
+/// the per-instruction path. Reads of main memory are side-effect free and
+/// the interpreter never writes main memory before a later bus access in the
+/// same instruction, so an escape leaves the machine exactly as it was.
+struct MainOnlyBus<'m>(&'m mut Memory);
+
+impl Bus for MainOnlyBus<'_> {
+    fn read(&mut self, addr: u32, size: Size) -> Result<u32, Block> {
+        match MemMap.region(addr) {
+            Region::Main => Ok(self.0.read(addr, size)),
+            _ => Err(Block::Mmio),
+        }
+    }
+    fn write(&mut self, addr: u32, value: u32, size: Size) -> Result<(), Block> {
+        match MemMap.region(addr) {
+            Region::Main => {
+                self.0.write(addr, value, size);
+                Ok(())
+            }
+            _ => Err(Block::Mmio),
         }
     }
 }

@@ -24,4 +24,4 @@ pub mod timing;
 
 pub use map::{MemMap, NetReg, Region};
 pub use memory::Memory;
-pub use timing::MemTiming;
+pub use timing::{BurstClock, MemTiming};

@@ -116,9 +116,117 @@ impl Default for MemTiming {
     }
 }
 
+/// Incremental refresh-phase tracker for hot simulation loops.
+///
+/// [`MemTiming::burst_delay`] only ever reads the clock through
+/// `now % refresh_interval`, so a loop that advances one component's clock
+/// monotonically can carry the phase across instructions instead of
+/// re-dividing per access. `BurstClock` does exactly that: it produces
+/// **identical** delays to calling `timing.burst_delay(now, accesses)` at
+/// the tracked `now` (the equivalence is property-tested below), with the
+/// modulo replaced by conditional subtraction on the small per-instruction
+/// increments.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstClock {
+    timing: MemTiming,
+    /// `now % refresh_interval` of the tracked clock; 0 when refresh is off.
+    phase: u64,
+}
+
+impl BurstClock {
+    /// Track `timing`'s refresh phase starting at absolute cycle `now`.
+    pub fn new(timing: MemTiming, now: u64) -> Self {
+        let phase = if timing.refresh_interval == 0 {
+            0
+        } else {
+            now % timing.refresh_interval
+        };
+        BurstClock { timing, phase }
+    }
+
+    /// Reduce a phase that may have stepped past the interval. Increments are
+    /// at most one instruction's duration — usually far below the interval —
+    /// so a subtraction almost always suffices; the modulo is a cold fallback
+    /// for pathological configurations.
+    #[inline]
+    fn wrap(&self, mut phase: u64) -> u64 {
+        let interval = self.timing.refresh_interval;
+        if phase >= interval {
+            phase -= interval;
+            if phase >= interval {
+                phase %= interval;
+            }
+        }
+        phase
+    }
+
+    /// Advance the tracked clock by `cycles` without memory traffic.
+    #[inline]
+    pub fn advance(&mut self, cycles: u64) {
+        if self.timing.refresh_interval != 0 {
+            self.phase = self.wrap(self.phase + cycles);
+        }
+    }
+
+    /// `timing.burst_delay(now + skew, accesses)` for the tracked `now`.
+    /// The `skew` covers the machine's charging order, which prices an
+    /// instruction's operand burst at `now + fetch_wait` without advancing
+    /// the clock in between. Does not advance the tracked clock.
+    #[inline]
+    pub fn burst_delay(&self, skew: u64, accesses: u32) -> u64 {
+        let t = &self.timing;
+        if t.refresh_interval == 0 {
+            return t.wait_states as u64 * accesses as u64;
+        }
+        let mut phase = self.wrap(self.phase + skew);
+        let mut extra = 0u64;
+        for _ in 0..accesses {
+            let d = t.wait_states as u64 + t.refresh_duration.saturating_sub(phase);
+            extra += d;
+            phase = self.wrap(phase + d + 4);
+        }
+        extra
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn burst_clock_matches_burst_delay_everywhere() {
+        // The fast path's incremental phase tracker must be indistinguishable
+        // from the modulo-per-access reference, including pathological
+        // timings where one step crosses several refresh intervals.
+        let timings = [
+            MemTiming::PE_DRAM,
+            MemTiming::FU_SRAM,
+            MemTiming::IDEAL,
+            MemTiming {
+                wait_states: 3,
+                refresh_interval: 7,
+                refresh_duration: 11, // window longer than the interval
+            },
+        ];
+        for t in timings {
+            let mut now = 0u64;
+            let mut clock = BurstClock::new(t, now);
+            let mut rng = 0x2545_F491_4F6C_DD1Du64;
+            for _ in 0..2000 {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let accesses = (rng >> 33) as u32 % 6;
+                let skew = (rng >> 49) % 40;
+                assert_eq!(
+                    clock.burst_delay(skew, accesses),
+                    t.burst_delay(now + skew, accesses),
+                    "{t:?} now={now} skew={skew} accesses={accesses}"
+                );
+                let step = (rng >> 21) % 300;
+                clock.advance(step);
+                now += step;
+            }
+        }
+    }
 
     #[test]
     fn sram_has_exactly_one_less_wait_state_and_no_refresh() {

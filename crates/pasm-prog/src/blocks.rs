@@ -1,0 +1,120 @@
+//! Block-structure profiles of the generated programs.
+//!
+//! The block compiler (`pasm_machine::block`) is only worth its table when
+//! the programs it compiles spend their time inside long straight-line
+//! blocks of statically-timed instructions. This module measures exactly
+//! that for any generated [`Program`]: how many basic blocks it splits into,
+//! how much of its core cost folds into per-block constants, and how many
+//! data-dependent terms and machine-interaction (stop) points remain. The
+//! numbers feed `docs/TIMING.md` and the `blockbench` report.
+
+use pasm_isa::Program;
+use pasm_machine::block::{compile, CompiledProgram};
+
+/// Static block-structure summary of one program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockProfile {
+    /// Instructions in the main stream.
+    pub instrs: usize,
+    /// Basic blocks the stream splits into.
+    pub blocks: usize,
+    /// Sum over blocks of the folded static core-cycle constants.
+    pub static_cycles: u64,
+    /// Instructions whose core time keeps a data-dependent term
+    /// (`MULU`/`MULS`/`DIVU`/`DIVS`, register-count shifts, branch arms).
+    pub dynamic_terms: usize,
+    /// Stop instructions: points where the fast path must return to the
+    /// event scheduler (mode switches, Fetch-Unit commands, barriers, halt).
+    pub stop_instrs: usize,
+    /// Longest block, in instructions.
+    pub max_block_len: usize,
+}
+
+impl BlockProfile {
+    /// Fraction of instructions whose core cost folded fully into a block
+    /// constant. High values mean the block table carries the program.
+    pub fn static_fraction(&self) -> f64 {
+        if self.instrs == 0 {
+            return 1.0;
+        }
+        (self.instrs - self.dynamic_terms) as f64 / self.instrs as f64
+    }
+
+    /// Mean block length in instructions.
+    pub fn mean_block_len(&self) -> f64 {
+        if self.blocks == 0 {
+            return 0.0;
+        }
+        self.instrs as f64 / self.blocks as f64
+    }
+}
+
+/// Summarize a compiled block table.
+pub fn profile_compiled(c: &CompiledProgram) -> BlockProfile {
+    BlockProfile {
+        instrs: c.meta.len(),
+        blocks: c.blocks.len(),
+        static_cycles: c.total_static_cycles(),
+        dynamic_terms: c.blocks.iter().map(|b| b.dynamic_terms as usize).sum(),
+        stop_instrs: c.meta.iter().filter(|m| m.stop).count(),
+        max_block_len: c.blocks.iter().map(|b| b.span.len()).max().unwrap_or(0),
+    }
+}
+
+/// Compile a program's main stream and summarize its block structure.
+pub fn profile(prog: &Program) -> BlockProfile {
+    profile_compiled(&compile(&prog.instrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::{mimd, serial, CommSync, MatmulParams};
+
+    #[test]
+    fn serial_matmul_is_dominated_by_straight_line_blocks() {
+        let p = profile(&serial::pe_program(MatmulParams::new(16, 1)));
+        assert!(p.blocks >= 3, "triple loop nest: {p:?}");
+        assert!(p.static_fraction() > 0.5, "{p:?}");
+        assert!(p.mean_block_len() >= 2.0, "{p:?}");
+        assert!(p.static_cycles > 0);
+    }
+
+    #[test]
+    fn mimd_matmul_keeps_few_stop_points() {
+        // MIMD PE code interacts with the machine only at HALT (polling uses
+        // memory-mapped reads, which escape dynamically, not statically).
+        let p = profile(&mimd::pe_program(
+            MatmulParams::new(16, 4),
+            CommSync::Polling,
+        ));
+        assert!(p.stop_instrs <= 2, "{p:?}");
+        assert!(p.blocks > 4, "{p:?}");
+    }
+
+    #[test]
+    fn barrier_sync_adds_stop_points() {
+        let polling = profile(&mimd::pe_program(
+            MatmulParams::new(16, 4),
+            CommSync::Polling,
+        ));
+        let barrier = profile(&mimd::pe_program(
+            MatmulParams::new(16, 4),
+            CommSync::Barrier,
+        ));
+        assert!(
+            barrier.stop_instrs > polling.stop_instrs,
+            "barriers are scheduler interaction points: {barrier:?} vs {polling:?}"
+        );
+    }
+
+    #[test]
+    fn profile_matches_compiled_table() {
+        let prog = serial::pe_program(MatmulParams::new(8, 1));
+        let c = compile(&prog.instrs);
+        assert_eq!(profile(&prog), profile_compiled(&c));
+        // Blocks tile the stream: lengths sum to the instruction count.
+        let len: usize = c.blocks.iter().map(|b| b.span.len()).sum();
+        assert_eq!(len, prog.instrs.len());
+    }
+}

@@ -13,10 +13,13 @@
 //! * [`workload`] — seeded matrices (identity A, uniform-random B, and
 //!   bit-density-controlled variants for ablations) plus a host reference
 //!   multiply for verification,
+//! * [`blocks`] — block-structure profiles of generated programs (how much
+//!   of each program the `pasm-machine` block compiler can fold statically),
 //! * [`layout`] — the columnar in-memory data layout shared by all variants,
 //! * [`codegen`] — the common register conventions and code idioms, kept
 //!   identical across variants so that mode effects are the only difference.
 
+pub mod blocks;
 pub mod codegen;
 pub mod layout;
 pub mod matmul;
@@ -25,6 +28,7 @@ pub mod mode;
 pub mod reduction;
 pub mod workload;
 
+pub use blocks::BlockProfile;
 pub use layout::Layout;
 pub use matmul::{select_vm, CommSync, MatmulParams, VirtualMachine};
 pub use mode::Mode;

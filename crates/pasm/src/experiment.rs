@@ -136,6 +136,11 @@ pub struct RunOptions {
     /// Cooperative stop flag, polled by the scheduler; setting it makes the
     /// run end with [`RunError::Interrupted`].
     pub interrupt: Option<Arc<AtomicBool>>,
+    /// Use the block-compiled fast path (default on). Turning it off forces
+    /// the per-instruction interpreter; results are byte-identical either
+    /// way (gated by the fast-vs-interpreter equivalence tests) — the toggle
+    /// exists for that gate and for the `blockbench` comparison.
+    pub fast_path: bool,
 }
 
 impl Default for RunOptions {
@@ -144,6 +149,7 @@ impl Default for RunOptions {
             accounting: true,
             fault: FaultPlan::default(),
             interrupt: None,
+            fast_path: true,
         }
     }
 }
@@ -166,6 +172,7 @@ pub fn run_matmul_opts(
     assert_eq!(b.n, params.n);
     let mut machine = Machine::new(cfg.clone());
     machine.set_accounting(opts.accounting);
+    machine.set_fast_path(opts.fast_path);
     machine
         .apply_fault_plan(&opts.fault)
         .map_err(RunError::Net)?;
@@ -536,6 +543,7 @@ pub fn run_kernel_opts(
     }
     let mut machine = Machine::new(cfg.clone());
     machine.set_accounting(opts.accounting);
+    machine.set_fast_path(opts.fast_path);
     machine
         .apply_fault_plan(&opts.fault)
         .map_err(RunError::Net)?;
@@ -589,11 +597,13 @@ pub fn run_keyed_with_interrupt(
         accounting: true,
         fault: key.fault.clone(),
         interrupt: interrupt.clone(),
+        fast_path: true,
     };
     let base_opts = RunOptions {
         accounting: true,
         fault: FaultPlan::default(),
         interrupt,
+        fast_path: true,
     };
     let mut result = if key.workload == MATMUL {
         // The paper workload keeps its dedicated path (typed matrices, the

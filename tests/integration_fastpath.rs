@@ -1,0 +1,131 @@
+//! Fast-vs-interpreter equivalence (ISSUE 8): the block-compiled fast path
+//! must be an optimization of the *scheduler*, never of the timing model.
+//! Every test here runs the same experiment twice — once on the fast path,
+//! once forced onto the per-instruction interpreter — and demands the full
+//! [`pasm::ExperimentResult`]s be equal: simulated makespan, per-bucket
+//! cycle totals (Compute, MultiplyVariance, Fetch, MemoryWait, …),
+//! instruction counts, output checksums.
+//!
+//! The sweep here uses the 4-PE machine so the suite stays fast;
+//! `bench --bin blockbench` runs the same equality on the 16-PE prototype
+//! at paper scale (n up to 1024) and also times the two paths.
+
+use pasm::{
+    run_kernel_opts, ExperimentResult, FaultPlan, MachineConfig, Mode, Params, PeFault, RunOptions,
+};
+
+/// A 4-PE machine whose half-machine partition spreads across two MCs —
+/// the smallest machine with a fault-tolerant p=2 partition.
+fn small_cfg() -> MachineConfig {
+    MachineConfig {
+        n_mcs: 2,
+        ..MachineConfig::small()
+    }
+}
+
+const SEED: u64 = 4242;
+
+/// Run one kernel cell twice (fast path on / off) and return both
+/// outcomes. Errors count as outcomes too: a fault that deadlocks the
+/// machine must deadlock *identically* on both paths, so failures are
+/// compared by their rendered message.
+fn both_paths(
+    cfg: &MachineConfig,
+    kernel: &'static dyn pasm::Kernel,
+    mode: Mode,
+    n: usize,
+    p: usize,
+    fault: FaultPlan,
+) -> (
+    Result<ExperimentResult, String>,
+    Result<ExperimentResult, String>,
+) {
+    let input = kernel.generate(n, SEED);
+    let run = |fast_path: bool| {
+        let opts = RunOptions {
+            fault: fault.clone(),
+            fast_path,
+            ..RunOptions::default()
+        };
+        run_kernel_opts(cfg, kernel, mode, Params::new(n, p), &input, &opts)
+            .map(|out| ExperimentResult::from_kernel_outcome(&out, SEED))
+            .map_err(|e| e.to_string())
+    };
+    (run(true), run(false))
+}
+
+fn assert_identical_on(
+    cfg: &MachineConfig,
+    kernel: &str,
+    mode: Mode,
+    n: usize,
+    p: usize,
+    fault: &FaultPlan,
+) {
+    let k = pasm::kernels::find(kernel).expect("registered kernel");
+    let (fast, interp) = both_paths(cfg, k, mode, n, p, fault.clone());
+    assert_eq!(
+        fast, interp,
+        "{kernel} {mode} n={n} p={p} fault={fault:?}: fast path diverged from interpreter"
+    );
+}
+
+fn assert_identical(kernel: &str, mode: Mode, n: usize, p: usize, fault: &FaultPlan) {
+    assert_identical_on(&small_cfg(), kernel, mode, n, p, fault);
+}
+
+#[test]
+fn every_kernel_and_mode_is_identical_on_both_paths() {
+    for kernel in pasm::kernels::kernels() {
+        // n=16 suits all four kernels' validators on a p∈{2,4} machine.
+        for n in [16, 32] {
+            for p in [2, 4] {
+                if kernel.validate(n, p).is_err() {
+                    continue;
+                }
+                for mode in [Mode::Simd, Mode::Mimd, Mode::Smimd] {
+                    assert_identical(kernel.name(), mode, n, p, &FaultPlan::default());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn network_faults_are_identical_on_both_paths() {
+    // A rerouted interior fault makes every circuit pay a detour; the
+    // timing perturbation must land identically on both paths.
+    for fault in pasm::single_faults(small_cfg().n_pes) {
+        for mode in [Mode::Simd, Mode::Mimd, Mode::Smimd] {
+            assert_identical("matmul", mode, 4, 2, &FaultPlan::net_single(fault));
+        }
+    }
+}
+
+#[test]
+fn pe_faults_invalidate_blocks_identically_on_both_paths() {
+    // PE faults disable the faulty PE's fast path (the compiled program is
+    // dropped for it); the degraded run must match the interpreter even in
+    // how it *fails*. A dead ring neighbor starves `smooth`: in SIMD that
+    // is a detected deadlock, in MIMD/S-MIMD the survivors busy-poll the
+    // network register, so the run must hit the cycle limit — at the same
+    // limit, on both paths (bounded, as in `integration_faults`).
+    let mut cfg = small_cfg();
+    cfg.max_cycles = 2_000_000;
+    for kind in [PeFault::Dead, PeFault::Slow { extra_wait: 3 }] {
+        for mode in [Mode::Simd, Mode::Mimd, Mode::Smimd] {
+            assert_identical_on(&cfg, "smooth", mode, 16, 4, &FaultPlan::pe_single(1, kind));
+        }
+    }
+}
+
+#[test]
+fn fast_path_default_matches_explicit_interpreter_on_prototype() {
+    // One paper-scale spot check on the full 16-PE prototype: the
+    // defaults (fast path on) equal the forced interpreter.
+    let cfg = MachineConfig::prototype();
+    let k = pasm::kernels::find("bitonic").expect("registered kernel");
+    let (fast, interp) = both_paths(&cfg, k, Mode::Smimd, 128, 16, FaultPlan::default());
+    assert_eq!(fast, interp);
+    assert!(fast.expect("fault-free run completes").cycles > 0);
+}
