@@ -40,4 +40,10 @@ cargo test -q -p pasm --test integration_kernels --test integration_determinism
 echo "==> worker panic quarantine + cancel-while-running integration test"
 cargo test -q -p pasm-server --test integration_server_faults
 
+echo "==> crash-injection recovery tests (seeded kill points, bit flips, readiness)"
+cargo test -q -p pasm-server --test integration_recovery
+
+echo "==> durabench smoke-run (fsync policies + restart-serves-cached gate)"
+cargo run --release -q -p bench --bin durabench -- --quick >/dev/null
+
 echo "==> ci.sh: all green"

@@ -3,9 +3,10 @@
 //! ```text
 //! pasm-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!            [--cache-capacity N] [--log FILE]
+//!            [--data-dir DIR] [--fsync always|interval[:ms]|never]
 //! ```
 
-use pasm_server::{Server, ServerConfig};
+use pasm_server::{FsyncPolicy, Server, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -21,6 +22,10 @@ OPTIONS:
     --queue-depth N       admission queue bound  [default: 256]
     --cache-capacity N    result cache entries   [default: 4096]
     --log FILE            append one JSONL line per completed job
+    --data-dir DIR        durable result store + job journal under DIR;
+                          on start, results and pending jobs are recovered
+    --fsync POLICY        durability/throughput trade of the durable logs:
+                          always | interval[:ms] | never  [default: interval:100]
     -h, --help            print this help
 ";
 
@@ -54,6 +59,13 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     .map_err(|_| "--cache-capacity must be a positive integer".to_string())?;
             }
             "--log" => cfg.log_path = Some(PathBuf::from(value("--log")?)),
+            "--data-dir" => cfg.data_dir = Some(PathBuf::from(value("--data-dir")?)),
+            "--fsync" => {
+                let spec = value("--fsync")?;
+                cfg.fsync = FsyncPolicy::parse(&spec).ok_or_else(|| {
+                    format!("--fsync must be always, interval[:ms], or never (got `{spec}`)")
+                })?;
+            }
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -77,6 +89,10 @@ fn main() -> ExitCode {
 
     let workers = cfg.workers;
     let queue_depth = cfg.queue_depth;
+    let durability = cfg
+        .data_dir
+        .as_ref()
+        .map(|dir| format!("{} (fsync {})", dir.display(), cfg.fsync.label()));
     let server = match Server::start(cfg) {
         Ok(server) => server,
         Err(e) => {
@@ -94,6 +110,10 @@ fn main() -> ExitCode {
     eprintln!(
         "submit extras: \"fault\" (e.g. \"box:1:0,dead:3\" — see docs/FAULTS.md), \"deadline_ms\", test-only \"chaos\""
     );
+    match durability {
+        Some(d) => eprintln!("durability: {d} — recovery runs now; /healthz is 503 until done"),
+        None => eprintln!("durability: off (memory-only; pass --data-dir to persist)"),
+    }
 
     // Serve until the process is killed; the drain path is exercised through
     // the library API (tests call `Server::shutdown`). Parking the main

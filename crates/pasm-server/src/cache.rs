@@ -7,6 +7,12 @@
 //! Entries are shared `Arc`s; eviction is FIFO once `capacity` distinct keys
 //! are resident, which is enough for a working set of figure grids without
 //! the bookkeeping of LRU.
+//!
+//! Internally the map is keyed by [`ExperimentKey::fingerprint`] (FNV-1a,
+//! stable across processes) rather than the key itself: that is the same
+//! address the durable result store persists under, so startup replay can
+//! insert recovered results directly ([`ResultCache::insert_replayed`])
+//! without reconstructing full `ExperimentKey`s from disk.
 
 use pasm::{ExperimentKey, ExperimentResult};
 use std::collections::{HashMap, VecDeque};
@@ -14,8 +20,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 struct Inner {
-    map: HashMap<ExperimentKey, Arc<ExperimentResult>>,
-    order: VecDeque<ExperimentKey>,
+    map: HashMap<u64, Arc<ExperimentResult>>,
+    order: VecDeque<u64>,
 }
 
 /// Thread-safe keyed result store with hit/miss accounting.
@@ -42,7 +48,7 @@ impl ResultCache {
     /// Look up a key, counting the outcome.
     pub fn get(&self, key: &ExperimentKey) -> Option<Arc<ExperimentResult>> {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        match inner.map.get(key) {
+        match inner.map.get(&key.fingerprint()) {
             Some(hit) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(hit))
@@ -58,14 +64,20 @@ impl ResultCache {
     /// coalescing on the worker path, which already counted its miss).
     pub fn peek(&self, key: &ExperimentKey) -> Option<Arc<ExperimentResult>> {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        inner.map.get(key).map(Arc::clone)
+        inner.map.get(&key.fingerprint()).map(Arc::clone)
     }
 
     /// Insert a freshly computed result, evicting the oldest entry if full.
     pub fn insert(&self, key: ExperimentKey, result: Arc<ExperimentResult>) {
+        self.insert_replayed(key.fingerprint(), result);
+    }
+
+    /// Insert a result recovered from the durable store (keyed by the
+    /// persisted fingerprint; no full `ExperimentKey` exists at replay time).
+    pub fn insert_replayed(&self, fingerprint: u64, result: Arc<ExperimentResult>) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if inner.map.insert(key.clone(), result).is_none() {
-            inner.order.push_back(key);
+        if inner.map.insert(fingerprint, result).is_none() {
+            inner.order.push_back(fingerprint);
             while inner.order.len() > self.capacity {
                 if let Some(oldest) = inner.order.pop_front() {
                     inner.map.remove(&oldest);

@@ -27,13 +27,17 @@
 
 pub mod cache;
 pub mod http;
+pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod stats;
+pub mod store;
 
 pub use cache::ResultCache;
+pub use journal::{JobJournal, JournalReplay};
 pub use protocol::{BadRequest, JobSpec, JobStatus};
 pub use queue::{JobQueue, QueueFull};
 pub use server::{Server, ServerConfig};
+pub use store::{CrashFuse, FsyncPolicy, ReplayStats, ResultStore, SegmentLog};

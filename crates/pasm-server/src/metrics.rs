@@ -17,6 +17,30 @@ use std::sync::atomic::Ordering;
 /// The Content-Type of the exposition payload.
 pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
+/// Point-in-time durability counters for the exposition (present only when
+/// the server runs with a data dir).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurabilityMetrics {
+    /// Results replayed from the durable store on startup.
+    pub results_replayed: u64,
+    /// Torn-tail records truncated during replay, both logs.
+    pub records_truncated: u64,
+    /// Corrupt records detected and skipped — never served — both logs.
+    pub records_corrupt: u64,
+    /// Journaled pending jobs re-enqueued on startup.
+    pub jobs_reenqueued: u64,
+    /// Startup recovery wall time in milliseconds.
+    pub recovery_wall_ms: u64,
+    /// Result-store records appended by this process.
+    pub store_appends: u64,
+    /// Result-store fsyncs issued by this process.
+    pub store_fsyncs: u64,
+    /// Journal events appended by this process.
+    pub journal_appends: u64,
+    /// Journal fsyncs issued by this process.
+    pub journal_fsyncs: u64,
+}
+
 fn header(out: &mut String, name: &str, help: &str, kind: &str) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} {kind}");
@@ -65,6 +89,8 @@ pub fn render(
     jobs_tracked: usize,
     workers: usize,
     draining: bool,
+    recovering: bool,
+    durability: Option<&DurabilityMetrics>,
 ) -> String {
     let mut out = String::with_capacity(4096);
 
@@ -159,6 +185,69 @@ pub fn render(
         "1 while the server is shutting down.",
         draining as u64,
     );
+    gauge(
+        &mut out,
+        "pasm_recovering",
+        "1 while startup replay of the durable logs is in progress.",
+        recovering as u64,
+    );
+
+    if let Some(d) = durability {
+        counter(
+            &mut out,
+            "pasm_store_results_replayed_total",
+            "Results replayed from the durable store into the cache on startup.",
+            d.results_replayed,
+        );
+        counter(
+            &mut out,
+            "pasm_store_records_truncated_total",
+            "Torn-tail log records truncated during replay (both logs).",
+            d.records_truncated,
+        );
+        counter(
+            &mut out,
+            "pasm_store_records_corrupt_total",
+            "Corrupt log records detected, skipped, and never served (both logs).",
+            d.records_corrupt,
+        );
+        counter(
+            &mut out,
+            "pasm_jobs_reenqueued_total",
+            "Journaled pending jobs re-enqueued on startup.",
+            d.jobs_reenqueued,
+        );
+        gauge(
+            &mut out,
+            "pasm_recovery_wall_ms",
+            "Startup recovery wall time in milliseconds.",
+            d.recovery_wall_ms,
+        );
+        counter(
+            &mut out,
+            "pasm_store_appends_total",
+            "Result records appended to the durable store by this process.",
+            d.store_appends,
+        );
+        counter(
+            &mut out,
+            "pasm_store_fsyncs_total",
+            "Result-store fsyncs issued by this process.",
+            d.store_fsyncs,
+        );
+        counter(
+            &mut out,
+            "pasm_journal_appends_total",
+            "Job-journal events appended by this process.",
+            d.journal_appends,
+        );
+        counter(
+            &mut out,
+            "pasm_journal_fsyncs_total",
+            "Job-journal fsyncs issued by this process.",
+            d.journal_fsyncs,
+        );
+    }
 
     counter(
         &mut out,
@@ -218,7 +307,18 @@ mod tests {
     fn exposition_is_well_formed() {
         let stats = Stats::new(None).unwrap();
         let cache = ResultCache::new(16);
-        let text = render(&stats, &cache, 3, 64, 7, 4, false);
+        let durability = DurabilityMetrics {
+            results_replayed: 12,
+            records_truncated: 1,
+            records_corrupt: 2,
+            jobs_reenqueued: 3,
+            recovery_wall_ms: 4,
+            store_appends: 5,
+            store_fsyncs: 6,
+            journal_appends: 7,
+            journal_fsyncs: 8,
+        };
+        let text = render(&stats, &cache, 3, 64, 7, 4, false, false, Some(&durability));
         for line in text.lines() {
             assert!(
                 line.starts_with("# HELP ")
@@ -235,8 +335,25 @@ mod tests {
         assert!(text.contains("pasm_watchdog_timeouts_total 0"));
         assert!(text.contains("pasm_fault_jobs_total 0"));
         assert!(text.contains("pasm_queue_capacity 64"));
+        assert!(text.contains("pasm_recovering 0"));
+        assert!(text.contains("pasm_store_results_replayed_total 12"));
+        assert!(text.contains("pasm_store_records_truncated_total 1"));
+        assert!(text.contains("pasm_store_records_corrupt_total 2"));
+        assert!(text.contains("pasm_jobs_reenqueued_total 3"));
+        assert!(text.contains("pasm_recovery_wall_ms 4"));
+        assert!(text.contains("pasm_journal_fsyncs_total 8"));
         assert!(text.contains("pasm_sim_cycle_bucket_total{bucket=\"barrier_wait\"} 0"));
         assert!(text.contains("pasm_job_wall_ms_bucket{kind=\"cold\",le=\"+Inf\"} 0"));
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn memory_only_exposition_omits_durability_series() {
+        let stats = Stats::new(None).unwrap();
+        let cache = ResultCache::new(16);
+        let text = render(&stats, &cache, 0, 64, 0, 4, false, false, None);
+        assert!(text.contains("pasm_recovering 0"));
+        assert!(!text.contains("pasm_store_results_replayed_total"));
+        assert!(!text.contains("pasm_journal_appends_total"));
     }
 }

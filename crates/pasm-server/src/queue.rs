@@ -84,6 +84,18 @@ impl JobQueue {
         }
     }
 
+    /// Re-admit a recovered job at the **head** of the queue. Recovery
+    /// replay uses this so journaled jobs run before anything submitted
+    /// after restart; capacity is not enforced — these jobs were already
+    /// admitted once, and bouncing them would break the re-enqueue
+    /// guarantee.
+    pub fn push_front(&self, job_id: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.items.push_front(job_id);
+        drop(inner);
+        self.ready.notify_one();
+    }
+
     /// Remove a specific queued job (cancellation). Returns whether it was
     /// still waiting.
     pub fn remove(&self, job_id: u64) -> bool {
@@ -137,6 +149,16 @@ mod tests {
         thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn push_front_jumps_the_line_and_ignores_capacity() {
+        let q = JobQueue::new(1);
+        q.try_push(5).unwrap();
+        q.push_front(3);
+        assert_eq!(q.len(), 2, "recovery re-admission bypasses capacity");
+        assert_eq!(q.pop_blocking(), Some(3));
+        assert_eq!(q.pop_blocking(), Some(5));
     }
 
     #[test]

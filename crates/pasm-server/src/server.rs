@@ -10,20 +10,22 @@
 
 use crate::cache::ResultCache;
 use crate::http::{read_request, write_json, write_text, Request};
+use crate::journal::JobJournal;
 use crate::metrics;
 use crate::protocol::{error_body, BadRequest, ChaosSpec, JobSpec, JobStatus};
 use crate::queue::JobQueue;
 use crate::stats::Stats;
+use crate::store::{CrashFuse, FsyncPolicy, ResultStore};
 use pasm::{run_keyed_with_interrupt, ExperimentResult, WorkerPool};
 use pasm_machine::RunError;
 use pasm_util::{Json, ToJson};
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -40,6 +42,18 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Optional JSONL job-log path.
     pub log_path: Option<PathBuf>,
+    /// Durable data directory (`results/` and `journal/` segment logs plus a
+    /// `stats.json` drain snapshot live inside). `None` runs memory-only.
+    pub data_dir: Option<PathBuf>,
+    /// Fsync policy of the durable logs (see `docs/DURABILITY.md`).
+    pub fsync: FsyncPolicy,
+    /// Test-only crash injector shared by both durable logs.
+    #[doc(hidden)]
+    pub test_fuse: Option<Arc<CrashFuse>>,
+    /// Test-only: hold the startup recovery phase open this many extra
+    /// milliseconds so readiness probes can observe the 503 window.
+    #[doc(hidden)]
+    pub recovery_hold_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +66,10 @@ impl Default for ServerConfig {
             queue_depth: 256,
             cache_capacity: 4096,
             log_path: None,
+            data_dir: None,
+            fsync: FsyncPolicy::Interval(Duration::from_millis(FsyncPolicy::DEFAULT_INTERVAL_MS)),
+            test_fuse: None,
+            recovery_hold_ms: 0,
         }
     }
 }
@@ -74,6 +92,30 @@ struct Job {
     watchdog_fired: bool,
 }
 
+/// The durable half of the service: result store + job journal, both over
+/// crash-safe segment logs. Present only when a data dir is configured.
+struct Durability {
+    store: ResultStore,
+    journal: JobJournal,
+}
+
+/// What the startup recovery phase found (rendered by `/metrics`).
+#[derive(Debug, Clone, Copy, Default)]
+struct RecoveryInfo {
+    /// Results replayed from the store into the cache.
+    results_replayed: u64,
+    /// Torn-tail records truncated across both logs.
+    records_truncated: u64,
+    /// Corrupt (CRC/undecodable) records skipped across both logs.
+    records_corrupt: u64,
+    /// Journaled pending jobs re-enqueued.
+    jobs_reenqueued: u64,
+    /// Re-enqueued jobs that had already started when the crash hit.
+    jobs_interrupted: u64,
+    /// Recovery wall time in milliseconds.
+    recovery_ms: u64,
+}
+
 struct AppState {
     queue: JobQueue,
     cache: ResultCache,
@@ -89,6 +131,23 @@ struct AppState {
     /// so deadlines keep firing while the drain finishes running jobs).
     watchdog_stop: AtomicBool,
     workers: usize,
+    /// Set once by the recovery thread (or never, memory-only mode).
+    durability: OnceLock<Durability>,
+    /// True from bind until the durable logs are replayed; readiness, not
+    /// liveness — `/healthz` answers 503 and `/submit` refuses meanwhile.
+    recovering: AtomicBool,
+    recovery: Mutex<RecoveryInfo>,
+}
+
+/// Run `f` against the journal if durability is enabled; a failed journal
+/// write degrades to a warning (the job still runs — it is the *durability*
+/// of its lifecycle that is lost, not the job).
+fn with_journal(state: &AppState, f: impl FnOnce(&JobJournal) -> io::Result<()>) {
+    if let Some(d) = state.durability.get() {
+        if let Err(e) = f(&d.journal) {
+            eprintln!("pasm-serve: journal write failed: {e}");
+        }
+    }
 }
 
 /// A running simulation service. Dropping it (or calling
@@ -96,9 +155,11 @@ struct AppState {
 pub struct Server {
     state: Arc<AppState>,
     addr: SocketAddr,
+    data_dir: Option<PathBuf>,
     pool: Option<WorkerPool>,
     accept: Option<thread::JoinHandle<()>>,
     watchdog: Option<thread::JoinHandle<()>>,
+    recovery: Option<thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -119,7 +180,29 @@ impl Server {
             draining: AtomicBool::new(false),
             watchdog_stop: AtomicBool::new(false),
             workers: config.workers.max(1),
+            durability: OnceLock::new(),
+            recovering: AtomicBool::new(config.data_dir.is_some()),
+            recovery: Mutex::new(RecoveryInfo::default()),
         });
+
+        // Recovery phase: replay the durable logs off the request path, so
+        // the listener can answer (503 `recovering`) from the first instant.
+        // Until the flag flips, `/submit` refuses and `/healthz` is not
+        // ready; workers idle on the empty queue.
+        let recovery = match config.data_dir.clone() {
+            Some(dir) => {
+                let state = Arc::clone(&state);
+                let policy = config.fsync;
+                let fuse = config.test_fuse.clone();
+                let hold_ms = config.recovery_hold_ms;
+                Some(
+                    thread::Builder::new()
+                        .name("pasm-recovery".into())
+                        .spawn(move || recover(&state, &dir, policy, fuse, hold_ms))?,
+                )
+            }
+            None => None,
+        };
 
         let pool = WorkerPool::new(state.workers);
         for _ in 0..state.workers {
@@ -170,9 +253,11 @@ impl Server {
         Ok(Server {
             state,
             addr,
+            data_dir: config.data_dir,
             pool: Some(pool),
             accept: Some(accept),
             watchdog: Some(watchdog),
+            recovery,
         })
     }
 
@@ -194,12 +279,44 @@ impl Server {
     }
 
     /// Graceful drain: stop admitting, finish every already-admitted job,
-    /// join all threads. Idempotent; also runs on drop.
+    /// flush every durable sink, join all threads. Idempotent; also runs on
+    /// drop.
     pub fn shutdown(&mut self) {
-        self.state.draining.store(true, Ordering::SeqCst);
+        if self.state.draining.swap(true, Ordering::SeqCst) {
+            return; // already drained — keep drop-after-shutdown a no-op
+        }
+        // Let an in-flight recovery finish first: its re-enqueued jobs must
+        // land before the queue closes, or they would neither run nor stay
+        // journaled as pending in a *new* journal write.
+        if let Some(recovery) = self.recovery.take() {
+            let _ = recovery.join();
+        }
         self.state.queue.close();
         if let Some(mut pool) = self.pool.take() {
             pool.join();
+        }
+        // Every admitted job is terminal now: flush + fsync the durable
+        // logs and the JSONL job log, and snapshot the final counters, so
+        // nothing acknowledged rides only in OS buffers when we exit.
+        if let Some(d) = self.state.durability.get() {
+            if let Err(e) = d.store.sync() {
+                eprintln!("pasm-serve: result store fsync failed on drain: {e}");
+            }
+            if let Err(e) = d.journal.sync() {
+                eprintln!("pasm-serve: journal fsync failed on drain: {e}");
+            }
+        }
+        self.state.stats.flush_sync();
+        if let Some(dir) = &self.data_dir {
+            let snapshot = stats(&self.state).1.dump();
+            match std::fs::File::create(dir.join("stats.json")) {
+                Ok(mut f) => {
+                    let _ = f.write_all(snapshot.as_bytes());
+                    let _ = f.write_all(b"\n");
+                    let _ = f.sync_data();
+                }
+                Err(e) => eprintln!("pasm-serve: stats snapshot failed on drain: {e}"),
+            }
         }
         // Stop the watchdog only after the workers are gone, so deadlines
         // keep bounding jobs that finish during the drain.
@@ -217,6 +334,106 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+// ----------------------------------------------------------------------
+// Recovery path
+// ----------------------------------------------------------------------
+
+/// Startup recovery: replay the result store into the cache, replay the job
+/// journal, re-enqueue pending jobs, then flip `recovering` off. Never
+/// panics on damaged logs — torn and corrupt records are counted and
+/// skipped. If the data dir is unusable the server degrades to memory-only
+/// (loudly) rather than refusing to serve.
+fn recover(
+    state: &AppState,
+    dir: &Path,
+    policy: FsyncPolicy,
+    fuse: Option<Arc<CrashFuse>>,
+    hold_ms: u64,
+) {
+    let t0 = Instant::now();
+    if hold_ms > 0 {
+        thread::sleep(Duration::from_millis(hold_ms));
+    }
+    let mut info = RecoveryInfo::default();
+
+    let store = ResultStore::open(&dir.join("results"), policy, fuse.clone(), |fp, result| {
+        state.cache.insert_replayed(fp, Arc::new(result));
+    });
+    let (store, store_stats) = match store {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("pasm-serve: result store unusable ({e}); running memory-only");
+            state.recovering.store(false, Ordering::SeqCst);
+            return;
+        }
+    };
+    let journal = match JobJournal::open(&dir.join("journal"), policy, fuse) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("pasm-serve: job journal unusable ({e}); running memory-only");
+            state.recovering.store(false, Ordering::SeqCst);
+            return;
+        }
+    };
+    let (journal, replay, journal_stats) = journal;
+    info.results_replayed = store_stats.replayed;
+    info.records_truncated = store_stats.truncated + journal_stats.truncated;
+    info.records_corrupt = store_stats.corrupt + journal_stats.corrupt + replay.malformed;
+    info.jobs_interrupted = replay.interrupted;
+
+    // Durability must be live before any recovered job runs, so workers
+    // journal its lifecycle and persist its result.
+    let _ = state.durability.set(Durability { store, journal });
+    let durability = state.durability.get().expect("just set");
+    state.next_id.fetch_max(replay.next_id, Ordering::SeqCst);
+
+    // Re-validate and re-enqueue every pending job under its original id.
+    // Bodies come off disk, so a journal from an older build gets the same
+    // scrutiny as a client request; an unparseable body is closed out in
+    // the journal instead of replaying forever.
+    let mut recovered = Vec::new();
+    for (id, body) in &replay.pending {
+        let spec = pasm_util::json::parse(body)
+            .ok()
+            .and_then(|v| JobSpec::from_json(&v).ok());
+        let Some(spec) = spec else {
+            eprintln!("pasm-serve: journaled job {id} no longer parses; marking failed");
+            if let Err(e) = durability.journal.terminal("failed", *id) {
+                eprintln!("pasm-serve: journal write failed: {e}");
+            }
+            continue;
+        };
+        let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        jobs.insert(
+            *id,
+            Job {
+                spec,
+                status: JobStatus::Queued,
+                cached: false,
+                error: None,
+                submitted_at: Instant::now(),
+                result: None,
+                wall_ms: 0,
+                attempts: 0,
+                cancel_requested: false,
+                watchdog_fired: false,
+            },
+        );
+        drop(jobs);
+        recovered.push(*id);
+    }
+    info.jobs_reenqueued = recovered.len() as u64;
+    // push_front prepends, so feed it in reverse to preserve FIFO order —
+    // recovered jobs run before anything submitted after restart.
+    for id in recovered.iter().rev() {
+        state.queue.push_front(*id);
+    }
+
+    info.recovery_ms = t0.elapsed().as_millis() as u64;
+    *state.recovery.lock().unwrap_or_else(|e| e.into_inner()) = info;
+    state.recovering.store(false, Ordering::SeqCst);
 }
 
 // ----------------------------------------------------------------------
@@ -297,6 +514,7 @@ fn run_job(state: &AppState, job_id: u64) {
                 job.status = JobStatus::Expired;
                 state.stats.count(JobStatus::Expired);
                 drop(jobs);
+                with_journal(state, |j| j.terminal("expired", job_id));
                 unregister(state);
                 return;
             }
@@ -309,9 +527,12 @@ fn run_job(state: &AppState, job_id: u64) {
         }
         job.spec.clone()
     };
+    with_journal(state, |j| j.started(job_id));
 
     // Duplicate coalescing: an identical job may have completed while this
-    // one waited in the queue.
+    // one waited in the queue — including a journal-recovered job whose
+    // result was persisted before the crash (restart dedupe: the cache
+    // answers, the simulator never re-runs).
     if let Some(hit) = state.cache.peek(&spec.key) {
         unregister(state);
         finish_done(state, job_id, hit, true, 0, 1);
@@ -331,9 +552,24 @@ fn run_job(state: &AppState, job_id: u64) {
             Ok(Err(e)) => break Err(JobFailure::Error(e)),
             Err(panic) => {
                 let msg = panic_message(panic);
-                if attempt + 1 < MAX_ATTEMPTS && !interrupt.load(Ordering::SeqCst) {
+                // An interrupt that raced with a panicking attempt wins: the
+                // client canceled (or the watchdog fired), so the job ends as
+                // interrupted — not quarantined as a panic failure.
+                if interrupt.load(Ordering::SeqCst) {
+                    break Err(JobFailure::Error(RunError::Interrupted));
+                }
+                if attempt + 1 < MAX_ATTEMPTS {
                     state.stats.retries.fetch_add(1, Ordering::Relaxed);
-                    thread::sleep(Duration::from_millis(RETRY_BACKOFF_MS << attempt));
+                    // Backoff sleeps in slices, watching the interrupt flag:
+                    // a cancel or watchdog deadline landing *between*
+                    // attempts must end the job as interrupted, not burn
+                    // another attempt and quarantine as a panic failure.
+                    if backoff_interrupted(
+                        &interrupt,
+                        Duration::from_millis(RETRY_BACKOFF_MS << attempt),
+                    ) {
+                        break Err(JobFailure::Error(RunError::Interrupted));
+                    }
                     attempt += 1;
                     continue;
                 }
@@ -347,10 +583,37 @@ fn run_job(state: &AppState, job_id: u64) {
 
     match outcome {
         Ok(result) => {
+            // Persist before journaling `completed`: a crash between the
+            // two re-enqueues the job on restart, and the worker's cache
+            // check (fed by the already-persisted result) dedupes it. The
+            // reverse order could acknowledge a completion whose result
+            // never reached disk.
+            if let Some(d) = state.durability.get() {
+                if let Err(e) = d.store.append(spec.key.fingerprint(), &result) {
+                    eprintln!("pasm-serve: result store write failed: {e}");
+                }
+            }
             state.cache.insert(spec.key, Arc::clone(&result));
             finish_done(state, job_id, result, false, wall_ms, attempt + 1);
         }
         Err(failure) => finish_failed(state, job_id, failure, wall_ms, attempt + 1),
+    }
+}
+
+/// Sleep out a retry backoff in slices, returning early — and `true` — the
+/// moment the job's interrupt flag trips.
+fn backoff_interrupted(interrupt: &AtomicBool, total: Duration) -> bool {
+    let slice = Duration::from_millis(5);
+    let deadline = Instant::now() + total;
+    loop {
+        if interrupt.load(Ordering::SeqCst) {
+            return true;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return false;
+        }
+        thread::sleep(slice.min(deadline - now));
     }
 }
 
@@ -362,52 +625,64 @@ fn finish_done(
     wall_ms: u64,
     attempts: u32,
 ) {
-    let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
-    let Some(job) = jobs.get_mut(&job_id) else {
-        return;
-    };
-    job.status = JobStatus::Done;
-    job.cached = cache_hit;
-    job.wall_ms = wall_ms;
-    job.attempts = attempts;
+    {
+        let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(job) = jobs.get_mut(&job_id) else {
+            return;
+        };
+        job.status = JobStatus::Done;
+        job.cached = cache_hit;
+        job.wall_ms = wall_ms;
+        job.attempts = attempts;
+        job.result = Some(Arc::clone(&result));
+    }
     state.stats.count(JobStatus::Done);
     state
         .stats
         .record_completion(job_id, &result, wall_ms, cache_hit);
-    job.result = Some(result);
+    with_journal(state, |j| j.terminal("completed", job_id));
 }
 
 fn finish_failed(state: &AppState, job_id: u64, failure: JobFailure, wall_ms: u64, attempts: u32) {
-    let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
-    let Some(job) = jobs.get_mut(&job_id) else {
-        return;
-    };
-    job.wall_ms = wall_ms;
-    job.attempts = attempts;
-    match failure {
-        // An interrupted run is whatever the interrupter meant it to be:
-        // a client cancellation or a watchdog deadline.
-        JobFailure::Error(RunError::Interrupted) if job.cancel_requested => {
-            job.status = JobStatus::Canceled;
-            job.error = Some("canceled while running".to_string());
-            state.stats.count(JobStatus::Canceled);
+    let terminal;
+    {
+        let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(job) = jobs.get_mut(&job_id) else {
+            return;
+        };
+        job.wall_ms = wall_ms;
+        job.attempts = attempts;
+        match failure {
+            // An interrupted run is whatever the interrupter meant it to be:
+            // a client cancellation or a watchdog deadline.
+            JobFailure::Error(RunError::Interrupted) if job.cancel_requested => {
+                job.status = JobStatus::Canceled;
+                job.error = Some("canceled while running".to_string());
+                state.stats.count(JobStatus::Canceled);
+            }
+            JobFailure::Error(RunError::Interrupted) if job.watchdog_fired => {
+                job.status = JobStatus::Failed;
+                job.error = Some("deadline exceeded while running".to_string());
+                state.stats.count(JobStatus::Failed);
+            }
+            JobFailure::Error(e) => {
+                job.status = JobStatus::Failed;
+                job.error = Some(format!("simulation error: {e}"));
+                state.stats.count(JobStatus::Failed);
+            }
+            JobFailure::Panic(msg) => {
+                job.status = JobStatus::Failed;
+                job.error = Some(format!("simulation panicked: {msg}"));
+                state.stats.count(JobStatus::Failed);
+            }
         }
-        JobFailure::Error(RunError::Interrupted) if job.watchdog_fired => {
-            job.status = JobStatus::Failed;
-            job.error = Some("deadline exceeded while running".to_string());
-            state.stats.count(JobStatus::Failed);
-        }
-        JobFailure::Error(e) => {
-            job.status = JobStatus::Failed;
-            job.error = Some(format!("simulation error: {e}"));
-            state.stats.count(JobStatus::Failed);
-        }
-        JobFailure::Panic(msg) => {
-            job.status = JobStatus::Failed;
-            job.error = Some(format!("simulation panicked: {msg}"));
-            state.stats.count(JobStatus::Failed);
-        }
+        terminal = if job.status == JobStatus::Canceled {
+            "canceled"
+        } else {
+            "failed"
+        };
     }
+    with_journal(state, |j| j.terminal(terminal, job_id));
 }
 
 /// One watchdog sweep: trip the interrupt of every running job whose
@@ -466,6 +741,20 @@ fn handle_connection(state: &AppState, mut stream: TcpStream) {
 
 fn render_metrics(state: &AppState) -> String {
     let jobs_tracked = state.jobs.lock().unwrap_or_else(|e| e.into_inner()).len();
+    let durability = state.durability.get().map(|d| {
+        let info = *state.recovery.lock().unwrap_or_else(|e| e.into_inner());
+        metrics::DurabilityMetrics {
+            results_replayed: info.results_replayed,
+            records_truncated: info.records_truncated,
+            records_corrupt: info.records_corrupt,
+            jobs_reenqueued: info.jobs_reenqueued,
+            recovery_wall_ms: info.recovery_ms,
+            store_appends: d.store.appends(),
+            store_fsyncs: d.store.fsyncs(),
+            journal_appends: d.journal.appends(),
+            journal_fsyncs: d.journal.fsyncs(),
+        }
+    });
     metrics::render(
         &state.stats,
         &state.cache,
@@ -474,6 +763,8 @@ fn render_metrics(state: &AppState) -> String {
         jobs_tracked,
         state.workers,
         state.draining.load(Ordering::SeqCst),
+        state.recovering.load(Ordering::SeqCst),
+        durability.as_ref(),
     )
 }
 
@@ -513,6 +804,12 @@ fn with_job_id(path: &str, prefix: &str, f: impl FnOnce(u64) -> (u16, Json)) -> 
 fn submit(state: &AppState, body: &str) -> (u16, Json) {
     if state.draining.load(Ordering::SeqCst) {
         return (503, error_body("shutting_down", "server is draining"));
+    }
+    if state.recovering.load(Ordering::SeqCst) {
+        return (
+            503,
+            error_body("recovering", "server is replaying its durable logs"),
+        );
     }
     let parsed = match pasm_util::json::parse(body) {
         Ok(v) => v,
@@ -582,12 +879,17 @@ fn submit(state: &AppState, body: &str) -> (u16, Json) {
             },
         );
     }
+    // Journal the submission (with the raw body, for replay) *before* the
+    // queue admits it: once a client could learn of this job, the journal
+    // already knows. If admission then fails, the entry is closed below.
+    with_journal(state, |j| j.submitted(job_id, body));
     if state.queue.try_push(job_id).is_err() {
         state
             .jobs
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .remove(&job_id);
+        with_journal(state, |j| j.terminal("canceled", job_id));
         state
             .stats
             .rejected_queue_full
@@ -694,6 +996,7 @@ fn cancel(state: &AppState, job_id: u64) -> (u16, Json) {
             if state.queue.remove(job_id) {
                 job.status = JobStatus::Canceled;
                 state.stats.count(JobStatus::Canceled);
+                with_journal(state, |j| j.terminal("canceled", job_id));
                 (200, job_summary(job_id, job))
             } else {
                 request_running_cancel(state, job_id, job)
@@ -719,13 +1022,20 @@ fn request_running_cancel(state: &AppState, job_id: u64, job: &mut Job) -> (u16,
 
 fn healthz(state: &AppState) -> (u16, Json) {
     let draining = state.draining.load(Ordering::SeqCst);
+    // Readiness vs. liveness: while the startup replay runs the process is
+    // alive but not ready — 503 tells orchestrators to hold traffic.
+    let recovering = state.recovering.load(Ordering::SeqCst);
+    let status = if recovering {
+        "recovering"
+    } else if draining {
+        "draining"
+    } else {
+        "ok"
+    };
     (
-        200,
+        if recovering { 503 } else { 200 },
         Json::obj(vec![
-            (
-                "status",
-                Json::Str(if draining { "draining" } else { "ok" }.into()),
-            ),
+            ("status", Json::Str(status.into())),
             ("workers", Json::Int(state.workers as i64)),
             ("queue_len", Json::Int(state.queue.len() as i64)),
             ("queue_depth", Json::Int(state.queue.capacity() as i64)),
@@ -747,7 +1057,7 @@ fn stats(state: &AppState) -> (u16, Json) {
             ("mean_ms", Json::Float(snap.mean_ms())),
         ])
     };
-    (
+    let mut payload = (
         200,
         Json::obj(vec![
             (
@@ -822,5 +1132,34 @@ fn stats(state: &AppState) -> (u16, Json) {
                 Json::Arr(s.recent_lines().into_iter().map(Json::Str).collect()),
             ),
         ]),
-    )
+    );
+    if let Some(d) = state.durability.get() {
+        let info = *state.recovery.lock().unwrap_or_else(|e| e.into_inner());
+        if let (code, Json::Obj(members)) = &mut payload {
+            debug_assert_eq!(*code, 200);
+            members.push((
+                "durability".to_string(),
+                Json::obj(vec![
+                    (
+                        "recovering",
+                        Json::Bool(state.recovering.load(Ordering::SeqCst)),
+                    ),
+                    ("results_replayed", Json::Int(info.results_replayed as i64)),
+                    (
+                        "records_truncated",
+                        Json::Int(info.records_truncated as i64),
+                    ),
+                    ("records_corrupt", Json::Int(info.records_corrupt as i64)),
+                    ("jobs_reenqueued", Json::Int(info.jobs_reenqueued as i64)),
+                    ("jobs_interrupted", Json::Int(info.jobs_interrupted as i64)),
+                    ("recovery_ms", Json::Int(info.recovery_ms as i64)),
+                    ("store_appends", Json::Int(d.store.appends() as i64)),
+                    ("store_fsyncs", Json::Int(d.store.fsyncs() as i64)),
+                    ("journal_appends", Json::Int(d.journal.appends() as i64)),
+                    ("journal_fsyncs", Json::Int(d.journal.fsyncs() as i64)),
+                ]),
+            ));
+        }
+    }
+    payload
 }

@@ -220,6 +220,21 @@ impl Stats {
         }
     }
 
+    /// Flush and fsync the JSONL job log (graceful drain): completions
+    /// acknowledged to clients must not ride only in OS buffers when the
+    /// process exits.
+    pub fn flush_sync(&self) {
+        if let Some(file) = self
+            .log_file
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+        {
+            let _ = file.flush();
+            let _ = file.sync_data();
+        }
+    }
+
     /// Snapshots of the two latency histograms: `(cold, hit)`.
     pub fn latency_snapshots(&self) -> (HistSnapshot, HistSnapshot) {
         (self.cold_latency.snapshot(), self.hit_latency.snapshot())

@@ -1,0 +1,70 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial): the record checksum of the
+//! durable stores.
+//!
+//! FNV-1a ([`crate::hash`]) names content; CRC-32 guards *transport and
+//! storage* — it detects the torn tails and bit flips a crashed or corrupted
+//! append-only log exhibits, and its short 32-bit width keeps the per-record
+//! framing overhead small. The table is built at compile time, so the hot
+//! path is one lookup and one shift per byte.
+
+/// The reflected IEEE polynomial (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of a byte string in one call.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published CRC-32/ISO-HDLC ("check" value and friends).
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let payload = b"fingerprint -> result".to_vec();
+        let good = crc32(&payload);
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut flipped = payload.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), good, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

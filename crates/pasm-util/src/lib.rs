@@ -11,14 +11,18 @@
 //!   through,
 //! * [`hash`] — [FNV-1a](hash::Fnv1a), a stable `std::hash::Hasher` whose
 //!   output does not change across processes (used for cache keys),
+//! * [`crc`] — [CRC-32](crc::crc32) (IEEE), the record checksum the durable
+//!   stores use to detect torn and corrupted log records,
 //! * [`span`] — named trace spans on simulated timelines with JSONL
 //!   serialization (the observability layer's event format).
 
+pub mod crc;
 pub mod hash;
 pub mod json;
 pub mod rng;
 pub mod span;
 
+pub use crc::crc32;
 pub use hash::{fnv1a, Fnv1a};
 pub use json::{Json, ToJson};
 pub use rng::Rng;

@@ -408,6 +408,90 @@ impl ToJson for ExperimentResult {
 }
 
 impl ExperimentResult {
+    /// Parse the [`ToJson`] form back into a result — the inverse the durable
+    /// result store needs to replay cache entries across restarts.
+    ///
+    /// Strict on everything that matters for integrity: the workload must be
+    /// a registered kernel, the mode must parse, numeric fields must be
+    /// present with the right signs, and the checksum must be the fixed-width
+    /// hex the writer emits. Unknown cycle-bucket names are rejected (a
+    /// record written by a different bucket layout must not be half-read).
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        fn req<'a>(v: &'a Json, name: &str) -> Result<&'a Json, String> {
+            v.get(name).ok_or_else(|| format!("missing `{name}`"))
+        }
+        fn req_u64(v: &Json, name: &str) -> Result<u64, String> {
+            req(v, name)?
+                .as_u64()
+                .ok_or_else(|| format!("`{name}` must be a non-negative integer"))
+        }
+        fn req_usize(v: &Json, name: &str) -> Result<usize, String> {
+            req(v, name)?
+                .as_usize()
+                .ok_or_else(|| format!("`{name}` must be a non-negative integer"))
+        }
+        fn req_f64(v: &Json, name: &str) -> Result<f64, String> {
+            req(v, name)?
+                .as_f64()
+                .ok_or_else(|| format!("`{name}` must be a number"))
+        }
+
+        let workload_name = req(v, "workload")?
+            .as_str()
+            .ok_or("`workload` must be a string")?;
+        let workload = kernels::find(workload_name)
+            .map(|k| k.name())
+            .ok_or_else(|| format!("unknown workload `{workload_name}`"))?;
+        let mode_str = req(v, "mode")?.as_str().ok_or("`mode` must be a string")?;
+        let mode = Mode::parse(mode_str).ok_or_else(|| format!("unknown mode `{mode_str}`"))?;
+
+        let buckets_obj = req(v, "cycle_buckets")?;
+        let Json::Obj(members) = buckets_obj else {
+            return Err("`cycle_buckets` must be an object".to_string());
+        };
+        let mut pe_buckets = [0u64; N_BUCKETS];
+        for (name, value) in members {
+            let idx = BUCKET_NAMES
+                .iter()
+                .position(|b| b == name)
+                .ok_or_else(|| format!("unknown cycle bucket `{name}`"))?;
+            pe_buckets[idx] = value
+                .as_u64()
+                .ok_or_else(|| format!("bucket `{name}` must be a non-negative integer"))?;
+        }
+
+        let checksum_hex = req(v, "c_checksum")?
+            .as_str()
+            .ok_or("`c_checksum` must be a hex string")?;
+        if checksum_hex.len() != 16 {
+            return Err("`c_checksum` must be 16 hex digits".to_string());
+        }
+        let c_checksum = u64::from_str_radix(checksum_hex, 16)
+            .map_err(|_| "`c_checksum` must be 16 hex digits".to_string())?;
+
+        Ok(ExperimentResult {
+            workload,
+            mode,
+            n: req_usize(v, "n")?,
+            p: req_usize(v, "p")?,
+            extra_muls: req_usize(v, "extra_muls")?,
+            seed: req_u64(v, "seed")?,
+            cycles: req_u64(v, "cycles")?,
+            millis: req_f64(v, "millis")?,
+            multiply_cycles: req_u64(v, "multiply_cycles")?,
+            communication_cycles: req_u64(v, "communication_cycles")?,
+            pe_instrs: req_u64(v, "pe_instrs")?,
+            pe_buckets,
+            c_checksum,
+            fault: req(v, "fault")?
+                .as_str()
+                .ok_or("`fault` must be a string")?
+                .to_string(),
+            baseline_cycles: req_u64(v, "baseline_cycles")?,
+            slowdown: req_f64(v, "slowdown")?,
+        })
+    }
+
     /// Summarize a finished matmul run.
     pub fn from_outcome(out: &MatmulOutcome, seed: u64) -> Self {
         use pasm_prog::codegen::{PHASE_COMM, PHASE_MUL};
@@ -724,3 +808,80 @@ pub use pasm_prog::matmul::MatmulParams as Params;
 
 /// Re-export of the VM selector.
 pub use matmul::select_vm as vm_for;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_result_round_trips_through_json() {
+        let mut buckets = [0u64; N_BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = (i as u64 + 1) * 17;
+        }
+        let original = ExperimentResult {
+            workload: "bitonic",
+            mode: Mode::Smimd,
+            n: 64,
+            p: 8,
+            extra_muls: 3,
+            seed: 1988,
+            cycles: 123_456_789,
+            millis: 15.432_099_875,
+            multiply_cycles: 42_000,
+            communication_cycles: 17_500,
+            pe_instrs: 987_654,
+            pe_buckets: buckets,
+            c_checksum: 0xDEAD_BEEF_0BAD_F00D,
+            fault: "box:1:0".to_string(),
+            baseline_cycles: 100_000_000,
+            slowdown: 1.234_567,
+        };
+        let parsed = ExperimentResult::from_json(&original.to_json()).expect("round trip");
+        assert_eq!(parsed, original);
+        // The re-serialized form is byte-identical — the property the durable
+        // store's "no corrupt result served" guarantee builds on.
+        assert_eq!(parsed.to_json().dump(), original.to_json().dump());
+    }
+
+    #[test]
+    fn experiment_result_from_json_rejects_damage() {
+        let good = ExperimentResult::from_outcome(
+            &run_matmul(
+                &MachineConfig::small(),
+                Mode::Simd,
+                Params::new(4, 4),
+                &Matrix::identity(4),
+                &Matrix::uniform(4, 7),
+            )
+            .unwrap(),
+            7,
+        )
+        .to_json();
+        assert!(ExperimentResult::from_json(&good).is_ok());
+        for (mutate, why) in [
+            (("workload", Json::Str("warp".into())), "unknown workload"),
+            (("mode", Json::Str("warp".into())), "unknown mode"),
+            (("cycles", Json::Int(-1)), "negative cycles"),
+            (("c_checksum", Json::Str("xyz".into())), "bad checksum hex"),
+            (
+                ("cycle_buckets", Json::obj(vec![("warp", Json::Int(1))])),
+                "unknown bucket",
+            ),
+        ] {
+            let Json::Obj(mut members) = good.clone() else {
+                unreachable!()
+            };
+            for (k, v) in members.iter_mut() {
+                if k == mutate.0 {
+                    *v = mutate.1.clone();
+                }
+            }
+            assert!(
+                ExperimentResult::from_json(&Json::Obj(members)).is_err(),
+                "{why}"
+            );
+        }
+        assert!(ExperimentResult::from_json(&Json::obj(vec![])).is_err());
+    }
+}

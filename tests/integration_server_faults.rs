@@ -6,10 +6,12 @@
 //! body, which makes a worker attempt panic deliberately without touching
 //! the simulation itself (and is excluded from the cache key).
 
-use pasm_server::{Server, ServerConfig};
+use pasm_server::store::read_records;
+use pasm_server::{FsyncPolicy, Server, ServerConfig};
 use pasm_util::{json, Json};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 fn request_raw(
@@ -105,6 +107,65 @@ fn start(workers: usize) -> Server {
         ..ServerConfig::default()
     })
     .expect("server starts")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pasm-faults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Start a server with a durable data dir and wait out its recovery phase.
+fn start_durable(workers: usize, dir: &Path) -> Server {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth: 64,
+        data_dir: Some(dir.to_path_buf()),
+        fsync: FsyncPolicy::Always,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (code, _) = get(server.addr(), "/healthz");
+        if code == 200 {
+            return server;
+        }
+        assert!(Instant::now() < deadline, "server never became ready");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Journal event counts for one job id: `(submitted, started, terminals)`.
+fn journal_events(dir: &Path, id: u64) -> (u64, u64, Vec<String>) {
+    let (records, _) = read_records(&dir.join("journal")).expect("read journal");
+    let (mut submitted, mut started, mut terminals) = (0, 0, Vec::new());
+    for payload in records {
+        let event = json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+        if event.get("id").and_then(Json::as_u64) != Some(id) {
+            continue;
+        }
+        match event.get("ev").and_then(Json::as_str).unwrap() {
+            "submitted" => submitted += 1,
+            "started" => started += 1,
+            terminal => terminals.push(terminal.to_string()),
+        }
+    }
+    (submitted, started, terminals)
+}
+
+fn await_running(addr: SocketAddr, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = get(addr, &format!("/status/{id}"));
+        if status_str(&body) == "running" {
+            return;
+        }
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(2));
+    }
 }
 
 /// A deliberately panicking job is retried, then quarantined as `failed`
@@ -299,4 +360,78 @@ fn fault_plan_jobs_report_their_slowdown() {
         assert_eq!(code, 400, "{resp:?}");
     }
     server.shutdown();
+}
+
+/// Canceling a job whose first attempt panicked (so it is inside the retry
+/// backoff, or the retry attempt itself) ends it `canceled` — never
+/// quarantined as a panic failure — and the journal holds exactly one
+/// `started` and one terminal record for the id.
+#[test]
+fn cancel_while_retrying_is_canceled_with_one_terminal_journal_record() {
+    let dir = tmpdir("cancel-retry");
+    let mut server = start_durable(1, &dir);
+    let addr = server.addr();
+
+    // Attempt 0 panics instantly (transient chaos), then the retry would
+    // simulate for seconds: the cancel lands in the backoff or early in the
+    // retry — both must resolve to `canceled`.
+    let (code, resp) = submit(
+        addr,
+        r#"{"mode":"mimd","n":256,"p":4,"seed":910,"chaos":{"kind":"transient","times":1}}"#,
+    );
+    assert_eq!(code, 202, "{resp:?}");
+    let id = job_id(&resp);
+    await_running(addr, id);
+    let (code, resp) = request(addr, "POST", &format!("/cancel/{id}"), None);
+    assert_eq!(code, 202, "{resp:?}");
+
+    let done = await_terminal(addr, id);
+    assert_eq!(status_str(&done), "canceled", "{done:?}");
+    assert_eq!(stat(addr, "canceled"), 1);
+    assert_eq!(stat(addr, "quarantined"), 0);
+    assert_eq!(stat(addr, "completed"), 0);
+    server.shutdown();
+
+    let (submitted, started, terminals) = journal_events(&dir, id);
+    assert_eq!(submitted, 1);
+    assert_eq!(started, 1, "retries must not journal `started` again");
+    assert_eq!(terminals, vec!["canceled".to_string()], "exactly one close");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A deadline firing during the retry backoff (or the retry itself) fails
+/// the job with the deadline recorded — no double completion, no leaked
+/// journal record.
+#[test]
+fn deadline_during_backoff_fails_once_with_one_terminal_journal_record() {
+    let dir = tmpdir("deadline-backoff");
+    let mut server = start_durable(1, &dir);
+    let addr = server.addr();
+
+    // Attempt 0 panics instantly; the backoff and the retry (which would
+    // simulate for many seconds) together span the 250 ms deadline, so the
+    // watchdog always interrupts mid-recovery — while the deadline is wide
+    // enough that the job cannot expire unclaimed on a loaded CI machine.
+    let (code, resp) = submit(
+        addr,
+        r#"{"mode":"mimd","n":256,"p":4,"seed":911,"deadline_ms":250,"chaos":{"kind":"transient","times":1}}"#,
+    );
+    assert_eq!(code, 202, "{resp:?}");
+    let id = job_id(&resp);
+    let done = await_terminal(addr, id);
+    assert_eq!(status_str(&done), "failed", "{done:?}");
+    assert!(
+        message(&done).contains("deadline exceeded"),
+        "watchdog recorded the deadline: {done:?}"
+    );
+    assert_eq!(stat(addr, "watchdog_timeouts"), 1);
+    assert_eq!(stat(addr, "quarantined"), 0);
+    assert_eq!(stat(addr, "completed"), 0);
+    server.shutdown();
+
+    let (submitted, started, terminals) = journal_events(&dir, id);
+    assert_eq!(submitted, 1);
+    assert_eq!(started, 1);
+    assert_eq!(terminals, vec!["failed".to_string()], "exactly one close");
+    let _ = std::fs::remove_dir_all(&dir);
 }
