@@ -46,4 +46,10 @@ cargo test -q -p pasm-server --test integration_recovery
 echo "==> durabench smoke-run (fsync policies + restart-serves-cached gate)"
 cargo run --release -q -p bench --bin durabench -- --quick >/dev/null
 
+echo "==> query-tier tests (byte-identical spans, zero re-simulation, crash recovery)"
+cargo test -q -p pasm-server --test integration_query
+
+echo "==> querybench smoke-run (cold/warm query latency + span-store recovery gate)"
+cargo run --release -q -p bench --bin querybench -- --quick >/dev/null
+
 echo "==> ci.sh: all green"

@@ -326,6 +326,18 @@ impl MachineAccounts {
         out
     }
 
+    /// Per-PE bucket rows, `matrix[pe][bucket]` — the unsummed counterpart
+    /// of [`MachineAccounts::pe_bucket_totals`] the span store persists so
+    /// per-PE breakdowns survive the process.
+    pub fn pe_bucket_matrix(&self) -> Vec<[u64; N_BUCKETS]> {
+        self.pe.iter().map(|a| a.buckets).collect()
+    }
+
+    /// Per-MC bucket rows, `matrix[mc][bucket]`.
+    pub fn mc_bucket_matrix(&self) -> Vec<[u64; N_BUCKETS]> {
+        self.mc.iter().map(|a| a.buckets).collect()
+    }
+
     /// Bucket totals over every component, PEs and MCs alike.
     pub fn bucket_totals(&self) -> [u64; N_BUCKETS] {
         let mut out = self.pe_bucket_totals();
@@ -433,5 +445,13 @@ mod tests {
         assert_eq!(m.pe_bucket_totals()[Bucket::Compute as usize], 15);
         assert_eq!(m.pe_bucket_totals()[Bucket::BarrierWait as usize], 3);
         assert_eq!(m.bucket_totals()[Bucket::Compute as usize], 115);
+        // The unsummed matrices expose the same numbers row by row.
+        let pe = m.pe_bucket_matrix();
+        assert_eq!(pe.len(), 2);
+        assert_eq!(pe[0][Bucket::Compute as usize], 10);
+        assert_eq!(pe[1][Bucket::BarrierWait as usize], 3);
+        let mc = m.mc_bucket_matrix();
+        assert_eq!(mc.len(), 1);
+        assert_eq!(mc[0][Bucket::Compute as usize], 100);
     }
 }

@@ -22,8 +22,8 @@ OPTIONS:
     --queue-depth N       admission queue bound  [default: 256]
     --cache-capacity N    result cache entries   [default: 4096]
     --log FILE            append one JSONL line per completed job
-    --data-dir DIR        durable result store + job journal under DIR;
-                          on start, results and pending jobs are recovered
+    --data-dir DIR        durable result, span and journal logs under DIR;
+                          on start, results, spans and pending jobs recover
     --fsync POLICY        durability/throughput trade of the durable logs:
                           always | interval[:ms] | never  [default: interval:100]
     -h, --help            print this help
@@ -105,7 +105,10 @@ fn main() -> ExitCode {
         server.addr()
     );
     eprintln!(
-        "endpoints: POST /submit, GET /status/<id>, GET /result/<id>, POST /cancel/<id>, GET /healthz, GET /stats, GET /metrics"
+        "endpoints: POST /submit, GET /status/<id>, GET /result/<id|fp>, POST /cancel/<id>, GET /healthz, GET /stats, GET /metrics"
+    );
+    eprintln!(
+        "query tier: GET /results?workload=&mode=&p=&offset=&limit=, GET /spans/<fp>, GET /sweep/phases?workload=&mode="
     );
     eprintln!(
         "submit extras: \"fault\" (e.g. \"box:1:0,dead:3\" — see docs/FAULTS.md), \"deadline_ms\", test-only \"chaos\""

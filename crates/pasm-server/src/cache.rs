@@ -67,6 +67,14 @@ impl ResultCache {
         inner.map.get(&key.fingerprint()).map(Arc::clone)
     }
 
+    /// Peek by raw fingerprint without touching the counters (the
+    /// `/result/<fp>` content-addressed lookup — the client already holds
+    /// the fingerprint, so a miss is not a caching failure).
+    pub fn peek_fingerprint(&self, fingerprint: u64) -> Option<Arc<ExperimentResult>> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.map.get(&fingerprint).map(Arc::clone)
+    }
+
     /// Insert a freshly computed result, evicting the oldest entry if full.
     pub fn insert(&self, key: ExperimentKey, result: Arc<ExperimentResult>) {
         self.insert_replayed(key.fingerprint(), result);

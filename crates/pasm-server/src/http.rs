@@ -17,7 +17,21 @@ pub struct Request {
     pub method: String,
     /// Path without query string.
     pub path: String,
+    /// Raw query string (without the `?`; empty when absent).
+    pub query: String,
     pub body: String,
+}
+
+impl Request {
+    /// The value of query parameter `name` (`?a=1&b=2` form). Parameters the
+    /// query tier accepts are plain tokens — names, integers — so no
+    /// percent-decoding is applied; a flag given without `=` yields `""`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
 }
 
 /// Read and parse one request from the stream.
@@ -35,7 +49,10 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
             ))
         }
     };
-    let path = target.split('?').next().unwrap_or("").to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
 
     let mut content_length = 0usize;
     loop {
@@ -63,7 +80,12 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     reader.read_exact(&mut body)?;
     let body = String::from_utf8(body)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
 }
 
 /// Write a JSON response with the given status code and close the connection.

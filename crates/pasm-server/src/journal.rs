@@ -68,33 +68,34 @@ impl JobJournal {
         }
         let mut jobs: BTreeMap<u64, Entry> = BTreeMap::new();
         let mut replay = JournalReplay::default();
-        let (log, stats) = SegmentLog::open(dir, policy, DEFAULT_SEGMENT_BYTES, fuse, |payload| {
-            let Some((ev, id, body)) = decode_event(payload) else {
-                replay.malformed += 1;
-                return;
-            };
-            match ev.as_str() {
-                "submitted" => {
-                    jobs.entry(id).or_insert(Entry {
-                        body: body.unwrap_or_default(),
-                        started: false,
-                        terminal: false,
-                    });
-                }
-                "started" => {
-                    if let Some(e) = jobs.get_mut(&id) {
-                        e.started = true;
+        let (log, stats) =
+            SegmentLog::open(dir, policy, DEFAULT_SEGMENT_BYTES, fuse, |payload, _loc| {
+                let Some((ev, id, body)) = decode_event(payload) else {
+                    replay.malformed += 1;
+                    return;
+                };
+                match ev.as_str() {
+                    "submitted" => {
+                        jobs.entry(id).or_insert(Entry {
+                            body: body.unwrap_or_default(),
+                            started: false,
+                            terminal: false,
+                        });
                     }
-                }
-                t if TERMINAL_EVENTS.contains(&t) => {
-                    if let Some(e) = jobs.get_mut(&id) {
-                        e.terminal = true;
+                    "started" => {
+                        if let Some(e) = jobs.get_mut(&id) {
+                            e.started = true;
+                        }
                     }
+                    t if TERMINAL_EVENTS.contains(&t) => {
+                        if let Some(e) = jobs.get_mut(&id) {
+                            e.terminal = true;
+                        }
+                    }
+                    _ => replay.malformed += 1,
                 }
-                _ => replay.malformed += 1,
-            }
-            replay.next_id = replay.next_id.max(id);
-        })?;
+                replay.next_id = replay.next_id.max(id);
+            })?;
         replay.next_id += 1; // ids start at 1; max journaled id + 1
         for (id, entry) in &jobs {
             if !entry.terminal {
@@ -137,7 +138,7 @@ impl JobJournal {
     }
 
     fn append(&self, event: Json) -> io::Result<()> {
-        self.log.append(event.dump().as_bytes())
+        self.log.append(event.dump().as_bytes()).map(|_| ())
     }
 
     /// Flush and fsync pending events (graceful drain).

@@ -39,6 +39,12 @@ pub struct DurabilityMetrics {
     pub journal_appends: u64,
     /// Journal fsyncs issued by this process.
     pub journal_fsyncs: u64,
+    /// Span records replayed into the query-tier index on startup.
+    pub spans_replayed: u64,
+    /// Span records appended to the span store by this process.
+    pub span_appends: u64,
+    /// Span-store fsyncs issued by this process.
+    pub span_fsyncs: u64,
 }
 
 fn header(out: &mut String, name: &str, help: &str, kind: &str) {
@@ -90,6 +96,7 @@ pub fn render(
     workers: usize,
     draining: bool,
     recovering: bool,
+    span_runs: u64,
     durability: Option<&DurabilityMetrics>,
 ) -> String {
     let mut out = String::with_capacity(4096);
@@ -247,7 +254,62 @@ pub fn render(
             "Job-journal fsyncs issued by this process.",
             d.journal_fsyncs,
         );
+        counter(
+            &mut out,
+            "pasm_span_store_replayed_total",
+            "Span records replayed into the query-tier index on startup.",
+            d.spans_replayed,
+        );
+        counter(
+            &mut out,
+            "pasm_span_store_appends_total",
+            "Span records appended to the span store by this process.",
+            d.span_appends,
+        );
+        counter(
+            &mut out,
+            "pasm_span_store_fsyncs_total",
+            "Span-store fsyncs issued by this process.",
+            d.span_fsyncs,
+        );
     }
+
+    gauge(
+        &mut out,
+        "pasm_span_store_runs",
+        "Runs indexed by the query tier (durable or in-memory).",
+        span_runs,
+    );
+    counter(
+        &mut out,
+        "pasm_sim_runs_total",
+        "Simulator invocations; query traffic must never move this.",
+        stats.sim_runs.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "pasm_query_results_total",
+        "GET /results queries served.",
+        stats.results_queries.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "pasm_query_spans_total",
+        "GET /spans/<fp> queries served.",
+        stats.span_queries.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "pasm_query_span_misses_total",
+        "GET /spans/<fp> queries that found no servable record.",
+        stats.span_misses.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "pasm_query_sweeps_total",
+        "GET /sweep/phases queries served.",
+        stats.sweep_queries.load(Ordering::Relaxed),
+    );
 
     counter(
         &mut out,
@@ -317,8 +379,22 @@ mod tests {
             store_fsyncs: 6,
             journal_appends: 7,
             journal_fsyncs: 8,
+            spans_replayed: 9,
+            span_appends: 10,
+            span_fsyncs: 11,
         };
-        let text = render(&stats, &cache, 3, 64, 7, 4, false, false, Some(&durability));
+        let text = render(
+            &stats,
+            &cache,
+            3,
+            64,
+            7,
+            4,
+            false,
+            false,
+            2,
+            Some(&durability),
+        );
         for line in text.lines() {
             assert!(
                 line.starts_with("# HELP ")
@@ -342,6 +418,15 @@ mod tests {
         assert!(text.contains("pasm_jobs_reenqueued_total 3"));
         assert!(text.contains("pasm_recovery_wall_ms 4"));
         assert!(text.contains("pasm_journal_fsyncs_total 8"));
+        assert!(text.contains("pasm_span_store_replayed_total 9"));
+        assert!(text.contains("pasm_span_store_appends_total 10"));
+        assert!(text.contains("pasm_span_store_fsyncs_total 11"));
+        assert!(text.contains("pasm_span_store_runs 2"));
+        assert!(text.contains("pasm_sim_runs_total 0"));
+        assert!(text.contains("pasm_query_results_total 0"));
+        assert!(text.contains("pasm_query_spans_total 0"));
+        assert!(text.contains("pasm_query_span_misses_total 0"));
+        assert!(text.contains("pasm_query_sweeps_total 0"));
         assert!(text.contains("pasm_sim_cycle_bucket_total{bucket=\"barrier_wait\"} 0"));
         assert!(text.contains("pasm_job_wall_ms_bucket{kind=\"cold\",le=\"+Inf\"} 0"));
         assert!(text.ends_with('\n'));
@@ -351,9 +436,14 @@ mod tests {
     fn memory_only_exposition_omits_durability_series() {
         let stats = Stats::new(None).unwrap();
         let cache = ResultCache::new(16);
-        let text = render(&stats, &cache, 0, 64, 0, 4, false, false, None);
+        let text = render(&stats, &cache, 0, 64, 0, 4, false, false, 0, None);
         assert!(text.contains("pasm_recovering 0"));
         assert!(!text.contains("pasm_store_results_replayed_total"));
         assert!(!text.contains("pasm_journal_appends_total"));
+        assert!(!text.contains("pasm_span_store_appends_total"));
+        assert!(
+            text.contains("pasm_span_store_runs 0"),
+            "the query tier exists even memory-only"
+        );
     }
 }

@@ -16,8 +16,9 @@ use crate::protocol::{error_body, BadRequest, ChaosSpec, JobSpec, JobStatus};
 use crate::queue::JobQueue;
 use crate::stats::Stats;
 use crate::store::{CrashFuse, FsyncPolicy, ResultStore};
-use pasm::{run_keyed_with_interrupt, ExperimentResult, WorkerPool};
+use pasm::{run_keyed_traced, ExperimentResult, ExperimentTrace, Mode, WorkerPool};
 use pasm_machine::RunError;
+use pasm_store::{ResultsQuery, RunSummary, SpanRecord, SpanStore};
 use pasm_util::{Json, ToJson};
 use std::collections::HashMap;
 use std::io::{self, Write};
@@ -104,6 +105,8 @@ struct Durability {
 struct RecoveryInfo {
     /// Results replayed from the store into the cache.
     results_replayed: u64,
+    /// Span records replayed into the query-tier index.
+    spans_replayed: u64,
     /// Torn-tail records truncated across both logs.
     records_truncated: u64,
     /// Corrupt (CRC/undecodable) records skipped across both logs.
@@ -133,6 +136,10 @@ struct AppState {
     workers: usize,
     /// Set once by the recovery thread (or never, memory-only mode).
     durability: OnceLock<Durability>,
+    /// The query tier: set at startup (memory-only mode) or by the recovery
+    /// thread (disk backing). Workers ingest every cold completion; the
+    /// `/results`, `/spans/<fp>` and `/sweep/phases` endpoints read it.
+    spans: OnceLock<SpanStore>,
     /// True from bind until the durable logs are replayed; readiness, not
     /// liveness — `/healthz` answers 503 and `/submit` refuses meanwhile.
     recovering: AtomicBool,
@@ -181,9 +188,16 @@ impl Server {
             watchdog_stop: AtomicBool::new(false),
             workers: config.workers.max(1),
             durability: OnceLock::new(),
+            spans: OnceLock::new(),
             recovering: AtomicBool::new(config.data_dir.is_some()),
             recovery: Mutex::new(RecoveryInfo::default()),
         });
+        // Memory-only servers still get the query tier — just not durable.
+        // With a data dir, the recovery thread installs the disk-backed
+        // store instead (before any worker can complete a job).
+        if config.data_dir.is_none() {
+            let _ = state.spans.set(SpanStore::in_memory());
+        }
 
         // Recovery phase: replay the durable logs off the request path, so
         // the listener can answer (503 `recovering`) from the first instant.
@@ -306,6 +320,11 @@ impl Server {
                 eprintln!("pasm-serve: journal fsync failed on drain: {e}");
             }
         }
+        if let Some(spans) = self.state.spans.get() {
+            if let Err(e) = spans.sync() {
+                eprintln!("pasm-serve: span store fsync failed on drain: {e}");
+            }
+        }
         self.state.stats.flush_sync();
         if let Some(dir) = &self.data_dir {
             let snapshot = stats(&self.state).1.dump();
@@ -365,22 +384,40 @@ fn recover(
         Ok(v) => v,
         Err(e) => {
             eprintln!("pasm-serve: result store unusable ({e}); running memory-only");
+            let _ = state.spans.set(SpanStore::in_memory());
             state.recovering.store(false, Ordering::SeqCst);
             return;
         }
     };
-    let journal = match JobJournal::open(&dir.join("journal"), policy, fuse) {
+    let journal = match JobJournal::open(&dir.join("journal"), policy, fuse.clone()) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("pasm-serve: job journal unusable ({e}); running memory-only");
+            let _ = state.spans.set(SpanStore::in_memory());
             state.recovering.store(false, Ordering::SeqCst);
             return;
         }
     };
     let (journal, replay, journal_stats) = journal;
+    // The query tier recovers alongside: a failure here degrades spans to
+    // memory (results and the journal stay durable) instead of refusing to
+    // serve.
+    let span_stats = match SpanStore::open(&dir.join("spans"), policy, fuse) {
+        Ok((spans, span_stats)) => {
+            let _ = state.spans.set(spans);
+            span_stats
+        }
+        Err(e) => {
+            eprintln!("pasm-serve: span store unusable ({e}); query tier is memory-only");
+            let _ = state.spans.set(SpanStore::in_memory());
+            Default::default()
+        }
+    };
     info.results_replayed = store_stats.replayed;
-    info.records_truncated = store_stats.truncated + journal_stats.truncated;
-    info.records_corrupt = store_stats.corrupt + journal_stats.corrupt + replay.malformed;
+    info.spans_replayed = span_stats.replayed;
+    info.records_truncated = store_stats.truncated + journal_stats.truncated + span_stats.truncated;
+    info.records_corrupt =
+        store_stats.corrupt + journal_stats.corrupt + span_stats.corrupt + replay.malformed;
     info.jobs_interrupted = replay.interrupted;
 
     // Durability must be live before any recovered job runs, so workers
@@ -462,12 +499,15 @@ fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// One worker attempt: fire the test-only chaos hook, then simulate with a
-/// cooperative interrupt attached.
+/// cooperative interrupt attached. Every path that reaches the simulator
+/// bumps `sim_runs` first — the counter the query-tier tests use to prove a
+/// query never re-simulates.
 fn attempt_job(
+    state: &AppState,
     spec: &JobSpec,
     attempt: u32,
     interrupt: &Arc<AtomicBool>,
-) -> Result<ExperimentResult, RunError> {
+) -> Result<ExperimentTrace, RunError> {
     match spec.chaos {
         Some(ChaosSpec::Panic) => panic!("chaos: injected panic (attempt {attempt})"),
         Some(ChaosSpec::Transient { times }) if attempt < times => {
@@ -475,7 +515,41 @@ fn attempt_job(
         }
         _ => {}
     }
-    run_keyed_with_interrupt(&spec.key, Some(Arc::clone(interrupt)))
+    state.stats.sim_runs.fetch_add(1, Ordering::Relaxed);
+    run_keyed_traced(&spec.key, Some(Arc::clone(interrupt)))
+}
+
+/// The mode's canonical wire spelling (`"Simd"`, …) — what the span store
+/// indexes and the query endpoints filter by.
+fn mode_label(mode: Mode) -> String {
+    match mode.to_json() {
+        Json::Str(s) => s,
+        _ => unreachable!("mode serializes to a string"),
+    }
+}
+
+/// Package one traced run as the span store's ingest unit.
+fn span_record(fingerprint: u64, trace: &ExperimentTrace) -> SpanRecord {
+    let r = &trace.result;
+    SpanRecord {
+        fingerprint,
+        summary: RunSummary {
+            workload: r.workload.to_string(),
+            mode: mode_label(r.mode),
+            n: r.n as u64,
+            p: r.p as u64,
+            seed: r.seed,
+            cycles: r.cycles,
+            fault: r.fault.clone(),
+        },
+        bucket_names: pasm_machine::BUCKET_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        pe_buckets: trace.pe_buckets.iter().map(|row| row.to_vec()).collect(),
+        mc_buckets: trace.mc_buckets.iter().map(|row| row.to_vec()).collect(),
+        spans: trace.spans.clone(),
+    }
 }
 
 fn run_job(state: &AppState, job_id: u64) {
@@ -546,9 +620,11 @@ fn run_job(state: &AppState, job_id: u64) {
     let t0 = Instant::now();
     let mut attempt: u32 = 0;
     let outcome = loop {
-        let run = catch_unwind(AssertUnwindSafe(|| attempt_job(&spec, attempt, &interrupt)));
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            attempt_job(state, &spec, attempt, &interrupt)
+        }));
         match run {
-            Ok(Ok(result)) => break Ok(Arc::new(result)),
+            Ok(Ok(trace)) => break Ok(trace),
             Ok(Err(e)) => break Err(JobFailure::Error(e)),
             Err(panic) => {
                 let msg = panic_message(panic);
@@ -582,14 +658,22 @@ fn run_job(state: &AppState, job_id: u64) {
     unregister(state);
 
     match outcome {
-        Ok(result) => {
-            // Persist before journaling `completed`: a crash between the
-            // two re-enqueues the job on restart, and the worker's cache
-            // check (fed by the already-persisted result) dedupes it. The
-            // reverse order could acknowledge a completion whose result
-            // never reached disk.
+        Ok(trace) => {
+            let fingerprint = spec.key.fingerprint();
+            // Persistence order is spans → result → `completed` journal
+            // event, so each durable fact implies the ones before it: a
+            // crash after any prefix re-enqueues the job on restart, the
+            // re-run is deduped by the cache (result durable) or re-ingested
+            // idempotently (spans only), and a journaled completion always
+            // has both its result and its span record on disk.
+            if let Some(spans) = state.spans.get() {
+                if let Err(e) = spans.ingest(&span_record(fingerprint, &trace)) {
+                    eprintln!("pasm-serve: span store write failed: {e}");
+                }
+            }
+            let result = Arc::new(trace.result);
             if let Some(d) = state.durability.get() {
-                if let Err(e) = d.store.append(spec.key.fingerprint(), &result) {
+                if let Err(e) = d.store.append(fingerprint, &result) {
                     eprintln!("pasm-serve: result store write failed: {e}");
                 }
             }
@@ -741,6 +825,7 @@ fn handle_connection(state: &AppState, mut stream: TcpStream) {
 
 fn render_metrics(state: &AppState) -> String {
     let jobs_tracked = state.jobs.lock().unwrap_or_else(|e| e.into_inner()).len();
+    let spans = state.spans.get();
     let durability = state.durability.get().map(|d| {
         let info = *state.recovery.lock().unwrap_or_else(|e| e.into_inner());
         metrics::DurabilityMetrics {
@@ -753,6 +838,9 @@ fn render_metrics(state: &AppState) -> String {
             store_fsyncs: d.store.fsyncs(),
             journal_appends: d.journal.appends(),
             journal_fsyncs: d.journal.fsyncs(),
+            spans_replayed: info.spans_replayed,
+            span_appends: spans.map_or(0, |s| s.appends()),
+            span_fsyncs: spans.map_or(0, |s| s.fsyncs()),
         }
     });
     metrics::render(
@@ -764,6 +852,7 @@ fn render_metrics(state: &AppState) -> String {
         state.workers,
         state.draining.load(Ordering::SeqCst),
         state.recovering.load(Ordering::SeqCst),
+        spans.map_or(0, |s| s.len() as u64),
         durability.as_ref(),
     )
 }
@@ -774,21 +863,43 @@ fn route(state: &AppState, req: &Request) -> (u16, Json) {
         ("POST", "/submit") => submit(state, &req.body),
         ("GET", "/healthz") => healthz(state),
         ("GET", "/stats") => stats(state),
+        ("GET", "/results") => results_list(state, req),
+        ("GET", "/sweep/phases") => sweep_phases(state, req),
+        ("GET", _) if path.starts_with("/spans/") => {
+            span_get(state, path.strip_prefix("/spans/").unwrap_or(""))
+        }
         ("GET", _) if path.starts_with("/status/") => {
             with_job_id(path, "/status/", |id| status(state, id))
         }
+        // `/result/<16 hex digits>` is a content-addressed cache lookup;
+        // any other tail is a job id (ids start at 1, so a 16-digit decimal
+        // id can never occur in practice).
         ("GET", _) if path.starts_with("/result/") => {
-            with_job_id(path, "/result/", |id| result(state, id))
+            let tail = path.strip_prefix("/result/").unwrap_or("");
+            match parse_fingerprint(tail) {
+                Some(fp) => result_by_fingerprint(state, fp),
+                None => with_job_id(path, "/result/", |id| result(state, id)),
+            }
         }
         ("POST", _) if path.starts_with("/cancel/") => {
             with_job_id(path, "/cancel/", |id| cancel(state, id))
         }
-        ("POST" | "GET", "/submit" | "/healthz" | "/stats" | "/metrics") => (
+        (
+            "POST" | "GET",
+            "/submit" | "/healthz" | "/stats" | "/metrics" | "/results" | "/sweep/phases",
+        ) => (
             405,
             error_body("method_not_allowed", "wrong method for this endpoint"),
         ),
         _ => (404, error_body("not_found", "unknown endpoint")),
     }
+}
+
+/// Parse an exactly-16-hex-digit store fingerprint (`None` otherwise).
+fn parse_fingerprint(tail: &str) -> Option<u64> {
+    (tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()))
+        .then(|| u64::from_str_radix(tail, 16).ok())
+        .flatten()
 }
 
 fn with_job_id(path: &str, prefix: &str, f: impl FnOnce(u64) -> (u16, Json)) -> (u16, Json) {
@@ -983,6 +1094,196 @@ fn result(state: &AppState, job_id: u64) -> (u16, Json) {
     }
 }
 
+// ----------------------------------------------------------------------
+// Query tier: `/results`, `/spans/<fp>`, `/sweep/phases`, `/result/<fp>`
+// ----------------------------------------------------------------------
+
+/// The query tier's store, or the 503 to answer while startup replay is
+/// still rebuilding its index.
+fn span_store(state: &AppState) -> Result<&SpanStore, (u16, Json)> {
+    state.spans.get().ok_or((
+        503,
+        error_body("recovering", "server is replaying its durable logs"),
+    ))
+}
+
+/// One `/results` row: the run summary with its fingerprint up front.
+fn result_row_json(fingerprint: u64, summary: &RunSummary) -> Json {
+    let Json::Obj(mut members) = summary.to_json() else {
+        unreachable!("run summaries serialize to objects")
+    };
+    members.insert(
+        0,
+        ("fp".to_string(), Json::Str(format!("{fingerprint:016x}"))),
+    );
+    Json::Obj(members)
+}
+
+fn results_list(state: &AppState, req: &Request) -> (u16, Json) {
+    let store = match span_store(state) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    state.stats.results_queries.fetch_add(1, Ordering::Relaxed);
+    let mut query = ResultsQuery {
+        workload: req.query_param("workload").map(str::to_string),
+        ..ResultsQuery::default()
+    };
+    if let Some(m) = req.query_param("mode") {
+        // Accept any spelling `Mode::parse` does; filter on the canonical
+        // label the store indexes.
+        let Some(mode) = Mode::parse(m) else {
+            return (400, error_body("bad_request", "unknown mode"));
+        };
+        query.mode = Some(mode_label(mode));
+    }
+    if let Some(raw) = req.query_param("p") {
+        let Ok(v) = raw.parse::<u64>() else {
+            return (
+                400,
+                error_body("bad_request", "`p` must be a non-negative integer"),
+            );
+        };
+        query.p = Some(v);
+    }
+    if let Some(raw) = req.query_param("offset") {
+        let Ok(v) = raw.parse::<usize>() else {
+            return (
+                400,
+                error_body("bad_request", "`offset` must be a non-negative integer"),
+            );
+        };
+        query.offset = v;
+    }
+    if let Some(raw) = req.query_param("limit") {
+        let Ok(v) = raw.parse::<usize>() else {
+            return (
+                400,
+                error_body("bad_request", "`limit` must be a non-negative integer"),
+            );
+        };
+        query.limit = Some(v);
+    }
+    let page = store.list(&query);
+    (
+        200,
+        Json::obj(vec![
+            ("total", Json::Int(page.total as i64)),
+            ("offset", Json::Int(query.offset as i64)),
+            ("count", Json::Int(page.rows.len() as i64)),
+            (
+                "rows",
+                Json::Arr(
+                    page.rows
+                        .iter()
+                        .map(|r| result_row_json(r.fingerprint, &r.summary))
+                        .collect(),
+                ),
+            ),
+        ]),
+    )
+}
+
+fn span_get(state: &AppState, tail: &str) -> (u16, Json) {
+    let store = match span_store(state) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    state.stats.span_queries.fetch_add(1, Ordering::Relaxed);
+    let Some(fingerprint) = parse_fingerprint(tail) else {
+        return (
+            400,
+            error_body("bad_request", "span fingerprint must be 16 hex digits"),
+        );
+    };
+    match store.get(fingerprint) {
+        Ok(Some(record)) => (200, record.to_json()),
+        // Unknown fingerprint and damaged-since-indexing bytes answer the
+        // same way: there is nothing servable under this name.
+        Ok(None) => {
+            state.stats.span_misses.fetch_add(1, Ordering::Relaxed);
+            (404, error_body("not_found", "unknown span fingerprint"))
+        }
+        Err(e) => (500, error_body("store_error", &e.to_string())),
+    }
+}
+
+fn sweep_phases(state: &AppState, req: &Request) -> (u16, Json) {
+    let store = match span_store(state) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    state.stats.sweep_queries.fetch_add(1, Ordering::Relaxed);
+    let Some(workload) = req.query_param("workload") else {
+        return (
+            400,
+            error_body("bad_request", "`workload` query parameter is required"),
+        );
+    };
+    let mode = match req.query_param("mode") {
+        Some(m) => match Mode::parse(m) {
+            Some(mode) => Some(mode_label(mode)),
+            None => return (400, error_body("bad_request", "unknown mode")),
+        },
+        None => None,
+    };
+    let groups = store.phase_sweep(workload, mode.as_deref());
+    (
+        200,
+        Json::obj(vec![
+            ("workload", Json::Str(workload.to_string())),
+            (
+                "groups",
+                Json::Arr(
+                    groups
+                        .iter()
+                        .map(|g| {
+                            Json::obj(vec![
+                                ("mode", Json::Str(g.mode.clone())),
+                                ("p", Json::Int(g.p as i64)),
+                                ("runs", Json::Int(g.runs as i64)),
+                                ("total_cycles", Json::Int(g.total_cycles as i64)),
+                                (
+                                    "phases",
+                                    Json::Arr(
+                                        g.phases
+                                            .iter()
+                                            .map(|ph| {
+                                                Json::obj(vec![
+                                                    ("name", Json::Str(ph.name.clone())),
+                                                    ("cycles", Json::Int(ph.cycles as i64)),
+                                                    ("share", Json::Float(ph.share)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    )
+}
+
+/// Content-addressed result lookup: `GET /result/<16 hex digits>` answers
+/// from the cache (which startup replay seeds from the durable store) —
+/// an unknown fingerprint is a JSON 404, never a re-simulation.
+fn result_by_fingerprint(state: &AppState, fingerprint: u64) -> (u16, Json) {
+    match state.cache.peek_fingerprint(fingerprint) {
+        Some(result) => (
+            200,
+            Json::obj(vec![
+                ("key", Json::Str(format!("{fingerprint:016x}"))),
+                ("cached", Json::Bool(true)),
+                ("result", result.to_json()),
+            ]),
+        ),
+        None => (404, error_body("not_found", "unknown result fingerprint")),
+    }
+}
+
 fn cancel(state: &AppState, job_id: u64) -> (u16, Json) {
     let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
     let Some(job) = jobs.get_mut(&job_id) else {
@@ -1120,6 +1421,43 @@ fn stats(state: &AppState) -> (u16, Json) {
                 ),
             ),
             (
+                "sim_runs",
+                Json::Int(s.sim_runs.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "queries",
+                Json::obj(vec![
+                    (
+                        "results",
+                        Json::Int(s.results_queries.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "spans",
+                        Json::Int(s.span_queries.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "span_misses",
+                        Json::Int(s.span_misses.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "sweeps",
+                        Json::Int(s.sweep_queries.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+            (
+                "span_store",
+                match state.spans.get() {
+                    Some(spans) => Json::obj(vec![
+                        ("runs", Json::Int(spans.len() as i64)),
+                        ("durable", Json::Bool(spans.is_durable())),
+                        ("appends", Json::Int(spans.appends() as i64)),
+                        ("fsyncs", Json::Int(spans.fsyncs() as i64)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            (
                 "cache",
                 Json::obj(vec![
                     ("hits", Json::Int(state.cache.hits() as i64)),
@@ -1145,6 +1483,7 @@ fn stats(state: &AppState) -> (u16, Json) {
                         Json::Bool(state.recovering.load(Ordering::SeqCst)),
                     ),
                     ("results_replayed", Json::Int(info.results_replayed as i64)),
+                    ("spans_replayed", Json::Int(info.spans_replayed as i64)),
                     (
                         "records_truncated",
                         Json::Int(info.records_truncated as i64),

@@ -115,6 +115,18 @@ pub struct Stats {
     pub completed_hit: AtomicU64,
     /// Completions that actually simulated.
     pub completed_cold: AtomicU64,
+    /// Simulator invocations (one per worker attempt that reached the
+    /// simulator). The query tier serves stored spans, so query traffic must
+    /// never move this counter — the integration tests assert exactly that.
+    pub sim_runs: AtomicU64,
+    /// `GET /results` queries served.
+    pub results_queries: AtomicU64,
+    /// `GET /spans/<fp>` queries served.
+    pub span_queries: AtomicU64,
+    /// `GET /spans/<fp>` queries that found no (servable) record.
+    pub span_misses: AtomicU64,
+    /// `GET /sweep/phases` queries served.
+    pub sweep_queries: AtomicU64,
     /// Simulation cycle buckets aggregated over cold runs, indexed like
     /// [`pasm_machine::BUCKET_NAMES`].
     sim_buckets: [AtomicU64; N_BUCKETS],

@@ -1,458 +1,36 @@
-//! Crash-safe persistence: an append-only, checksummed **segment log** and
-//! the **durable result store** built on it.
+//! The **durable result store**: `fingerprint → ExperimentResult` records on
+//! the shared [`pasm_store`] segment log.
+//!
+//! The segment-log machinery (PASMSEG1 framing, CRC records, torn-tail
+//! truncation, fsync policies, crash-fuse injection) lives in the
+//! [`pasm_store`] crate so the span store and this result store share one
+//! implementation; this module re-exports the framing types under their old
+//! paths and keeps only the result-record encoding on top.
 //!
 //! The simulator is deterministic and results are content-addressed
 //! ([`pasm::ExperimentKey::fingerprint`]), so durability is purely a storage
 //! problem: append `fingerprint → result` records to disk as they are
-//! computed, replay them into the in-memory cache on startup, and make the
-//! replay robust against everything a crash can leave behind.
-//!
-//! ## Record format
-//!
-//! Each segment file starts with an 8-byte magic, followed by records:
-//!
-//! ```text
-//! +--------- segment: seg-NNNNNN.log ----------+
-//! | "PASMSEG1"                                 |  8-byte magic
-//! | [len: u32 LE][crc32: u32 LE][payload: len] |  record 0
-//! | [len: u32 LE][crc32: u32 LE][payload: len] |  record 1
-//! | ...                                        |
-//! +--------------------------------------------+
-//! ```
-//!
-//! `crc32` ([`pasm_util::crc32`], IEEE) covers the payload only; `len` is
-//! bounded by [`MAX_RECORD`]. Segments rotate once they exceed the
-//! configured size threshold, so no single file grows without bound and old
-//! segments become immutable (a future compactor can drop them wholesale).
-//!
-//! ## Recovery semantics (never panic, never serve damage)
-//!
-//! Replay walks segments in name order and, per segment:
-//!
-//! * a **torn tail** — fewer bytes than a header, or a header whose `len`
-//!   points past end-of-file — is counted as `truncated` and the rest of the
-//!   segment is ignored (this is the normal shape of a crash mid-append);
-//! * a **corrupt record** — CRC mismatch, or an absurd `len` that breaks
-//!   framing — is counted as `corrupt`; with intact framing the record is
-//!   skipped and replay continues, otherwise the rest of the segment is
-//!   abandoned (later segments are still read: they were written later and
-//!   are independently framed);
-//! * an intact record is handed to the caller and counted as `replayed`.
-//!
-//! A corrupt or torn record is therefore *lost*, visibly (the counters land
-//! in `/metrics`), but never *served*.
-//!
-//! ## Fsync policy
-//!
-//! [`FsyncPolicy`] trades durability for append throughput: `always` fsyncs
-//! every append (a completed job survives any crash), `interval` bounds the
-//! loss window by wall-clock time, `never` leaves flushing to the OS. The
-//! `durabench` benchmark measures the cost of each policy.
-//!
-//! ## Crash injection (test-only)
-//!
-//! A [`CrashFuse`] models "the process died at byte offset N": once installed
-//! it silently swallows every byte past a seeded budget — mid-header,
-//! mid-payload, or between the result-store append and the journal append
-//! (both logs share one fuse, so the cut is a single global write offset,
-//! exactly like a real crash instant). The recovery integration tests drive
-//! crash→restart→verify loops across seeded budgets.
+//! computed, replay them into the in-memory cache on startup. A CRC-intact
+//! record whose JSON fails to decode — e.g. written by a different format
+//! version — is folded into the `corrupt` counter: detected, skipped, never
+//! served.
+
+pub use pasm_store::{
+    read_records, CrashFuse, FsyncPolicy, RecordLoc, ReplayStats, SegmentLog,
+    DEFAULT_SEGMENT_BYTES, MAX_RECORD, SEGMENT_MAGIC,
+};
 
 use pasm::ExperimentResult;
-use pasm_util::{crc32, json, Json, ToJson};
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Write};
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
-
-/// Per-segment file magic (version 1 of the record format).
-pub const SEGMENT_MAGIC: &[u8; 8] = b"PASMSEG1";
-
-/// Upper bound on one record's payload length. Real records are a few KiB of
-/// JSON; anything larger in a length prefix is framing damage, not data.
-pub const MAX_RECORD: u32 = 16 << 20;
-
-/// Default segment rotation threshold.
-pub const DEFAULT_SEGMENT_BYTES: u64 = 8 << 20;
-
-/// When to fsync appended records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FsyncPolicy {
-    /// Fsync after every append: a record acknowledged is a record durable.
-    Always,
-    /// Fsync at most once per interval: bounds the loss window in wall time.
-    Interval(Duration),
-    /// Never fsync explicitly; the OS flushes when it pleases.
-    Never,
-}
-
-impl FsyncPolicy {
-    /// Default interval for `interval` without an explicit millisecond count.
-    pub const DEFAULT_INTERVAL_MS: u64 = 100;
-
-    /// Parse the CLI spelling: `always`, `never`, `interval`,
-    /// or `interval:<ms>`.
-    pub fn parse(s: &str) -> Option<FsyncPolicy> {
-        match s {
-            "always" => Some(FsyncPolicy::Always),
-            "never" => Some(FsyncPolicy::Never),
-            "interval" => Some(FsyncPolicy::Interval(Duration::from_millis(
-                Self::DEFAULT_INTERVAL_MS,
-            ))),
-            _ => {
-                let ms: u64 = s.strip_prefix("interval:")?.parse().ok()?;
-                Some(FsyncPolicy::Interval(Duration::from_millis(ms)))
-            }
-        }
-    }
-
-    /// The CLI spelling (inverse of [`FsyncPolicy::parse`]).
-    pub fn label(&self) -> String {
-        match self {
-            FsyncPolicy::Always => "always".to_string(),
-            FsyncPolicy::Interval(d) => format!("interval:{}", d.as_millis()),
-            FsyncPolicy::Never => "never".to_string(),
-        }
-    }
-}
-
-/// Test-only crash injector: a global byte budget after which every write to
-/// the logs silently vanishes, as if the process had died at that offset.
-///
-/// The fuse is shared by the result store and the job journal, so one seeded
-/// budget cuts the combined write stream at a single point — mid-record,
-/// mid-header, or exactly between a result append and its journal record.
-#[derive(Debug)]
-pub struct CrashFuse {
-    remaining: AtomicI64,
-}
-
-impl CrashFuse {
-    /// A fuse that admits exactly `budget` more bytes to disk.
-    pub fn new(budget: u64) -> Arc<CrashFuse> {
-        Arc::new(CrashFuse {
-            remaining: AtomicI64::new(budget.min(i64::MAX as u64) as i64),
-        })
-    }
-
-    /// Consume up to `want` bytes of budget; returns how many may actually
-    /// be written. Once exhausted it never admits another byte.
-    fn consume(&self, want: usize) -> usize {
-        let want_i = want.min(i64::MAX as usize) as i64;
-        let before = self.remaining.fetch_sub(want_i, Ordering::SeqCst);
-        before.clamp(0, want_i) as usize
-    }
-
-    /// True once at least one byte has been swallowed.
-    pub fn tripped(&self) -> bool {
-        self.remaining.load(Ordering::SeqCst) <= 0
-    }
-}
-
-/// Counters from one replay pass over a log directory.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ReplayStats {
-    /// Intact records delivered to the caller.
-    pub replayed: u64,
-    /// Torn tails dropped (crash mid-append; expected, not an error).
-    pub truncated: u64,
-    /// CRC-mismatch or unframeable records skipped — damage that was
-    /// detected and *not* served.
-    pub corrupt: u64,
-    /// Segment files visited.
-    pub segments: u64,
-    /// Total bytes scanned.
-    pub bytes: u64,
-}
-
-impl ReplayStats {
-    fn absorb(&mut self, other: ReplayStats) {
-        self.replayed += other.replayed;
-        self.truncated += other.truncated;
-        self.corrupt += other.corrupt;
-        self.segments += other.segments;
-        self.bytes += other.bytes;
-    }
-}
-
-struct LogWriter {
-    file: File,
-    seg_index: u64,
-    seg_len: u64,
-    last_sync: Instant,
-    dirty: bool,
-}
-
-/// An append-only log of checksummed records split across rotating segment
-/// files. Thread-safe; appends serialize on an internal mutex (the record
-/// build happens outside it).
-pub struct SegmentLog {
-    dir: PathBuf,
-    segment_bytes: u64,
-    policy: FsyncPolicy,
-    fuse: Option<Arc<CrashFuse>>,
-    writer: Mutex<LogWriter>,
-    appends: AtomicU64,
-    fsyncs: AtomicU64,
-}
-
-fn segment_path(dir: &Path, index: u64) -> PathBuf {
-    dir.join(format!("seg-{index:06}.log"))
-}
-
-/// Sorted `(index, path)` list of the segment files in `dir`.
-fn segment_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
-    let mut segments = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if let Some(index) = name
-            .strip_prefix("seg-")
-            .and_then(|s| s.strip_suffix(".log"))
-            .and_then(|s| s.parse::<u64>().ok())
-        {
-            segments.push((index, entry.path()));
-        }
-    }
-    segments.sort();
-    Ok(segments)
-}
-
-/// Replay one segment's bytes, delivering intact payloads in order. Returns
-/// the replay counters and the **trusted prefix length**: the byte offset up
-/// to which the segment parsed cleanly (equal to `bytes.len()` iff the whole
-/// segment is intact). Appends may only resume after truncating to that
-/// prefix — records written past a torn tail would be unreachable forever.
-fn replay_segment(bytes: &[u8], mut deliver: impl FnMut(&[u8])) -> (ReplayStats, usize) {
-    let mut stats = ReplayStats {
-        segments: 1,
-        bytes: bytes.len() as u64,
-        ..ReplayStats::default()
-    };
-    if bytes.len() < SEGMENT_MAGIC.len() {
-        // Crash while writing the magic of a fresh segment.
-        stats.truncated += 1;
-        return (stats, 0);
-    }
-    if &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
-        // Not our format (or a corrupted header): nothing here is trustworthy.
-        stats.corrupt += 1;
-        return (stats, 0);
-    }
-    let mut pos = SEGMENT_MAGIC.len();
-    while pos < bytes.len() {
-        let remaining = bytes.len() - pos;
-        if remaining < 8 {
-            stats.truncated += 1; // torn mid-header
-            return (stats, pos);
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
-        if len > MAX_RECORD {
-            // Framing is gone: a flipped length bit would make every later
-            // "record" in this segment garbage too.
-            stats.corrupt += 1;
-            return (stats, pos);
-        }
-        let len = len as usize;
-        if remaining - 8 < len {
-            stats.truncated += 1; // torn mid-payload
-            return (stats, pos);
-        }
-        let payload = &bytes[pos + 8..pos + 8 + len];
-        if crc32(payload) == crc {
-            stats.replayed += 1;
-            deliver(payload);
-        } else {
-            // Framing intact (length was sane), payload damaged: skip it and
-            // keep reading — later records are still addressable.
-            stats.corrupt += 1;
-        }
-        pos += 8 + len;
-    }
-    (stats, bytes.len())
-}
-
-impl SegmentLog {
-    /// Open a log directory for replay + append: creates `dir` if missing,
-    /// replays every existing record through `deliver`, then positions the
-    /// writer at the end of the newest segment.
-    pub fn open(
-        dir: &Path,
-        policy: FsyncPolicy,
-        segment_bytes: u64,
-        fuse: Option<Arc<CrashFuse>>,
-        mut deliver: impl FnMut(&[u8]),
-    ) -> io::Result<(SegmentLog, ReplayStats)> {
-        fs::create_dir_all(dir)?;
-        let mut stats = ReplayStats::default();
-        let mut last: Option<(u64, usize, usize)> = None; // (index, valid_len, file_len)
-        for (index, path) in segment_files(dir)? {
-            let mut bytes = Vec::new();
-            File::open(&path)?.read_to_end(&mut bytes)?;
-            let (seg_stats, valid_len) = replay_segment(&bytes, &mut deliver);
-            stats.absorb(seg_stats);
-            last = Some((index, valid_len, bytes.len()));
-        }
-
-        // Position the writer. A fresh directory starts at segment 1. An
-        // existing newest segment is reopened at its *trusted prefix*: a
-        // torn or unframeable tail is truncated away first (classic WAL
-        // recovery), because records appended after damaged bytes could
-        // never be replayed. If even the magic is untrustworthy, the file
-        // is left as evidence and a new segment begins.
-        let (index, fresh) = match last {
-            None => (1, true),
-            Some((index, valid_len, file_len)) => {
-                if valid_len >= SEGMENT_MAGIC.len() {
-                    if valid_len < file_len {
-                        let f = OpenOptions::new()
-                            .write(true)
-                            .open(segment_path(dir, index))?;
-                        f.set_len(valid_len as u64)?;
-                        f.sync_data()?;
-                    }
-                    (index, false)
-                } else {
-                    (index + 1, true)
-                }
-            }
-        };
-        let path = segment_path(dir, index);
-        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
-        let mut seg_len = file.metadata()?.len();
-        if fresh {
-            // Through the fuse like every other write: a crash budget of 0
-            // means not even the magic lands.
-            let allowed = match &fuse {
-                Some(f) => f.consume(SEGMENT_MAGIC.len()),
-                None => SEGMENT_MAGIC.len(),
-            };
-            if allowed > 0 {
-                file.write_all(&SEGMENT_MAGIC[..allowed])?;
-            }
-            seg_len += SEGMENT_MAGIC.len() as u64;
-        }
-        Ok((
-            SegmentLog {
-                dir: dir.to_path_buf(),
-                segment_bytes: segment_bytes.max(4096),
-                policy,
-                fuse,
-                writer: Mutex::new(LogWriter {
-                    file,
-                    seg_index: index,
-                    seg_len,
-                    last_sync: Instant::now(),
-                    dirty: false,
-                }),
-                appends: AtomicU64::new(0),
-                fsyncs: AtomicU64::new(0),
-            },
-            stats,
-        ))
-    }
-
-    /// Write bytes through the crash fuse: everything past the budget
-    /// silently vanishes, like writes issued after the process died.
-    fn fused_write(&self, w: &mut LogWriter, buf: &[u8]) -> io::Result<()> {
-        let allowed = match &self.fuse {
-            Some(fuse) => fuse.consume(buf.len()),
-            None => buf.len(),
-        };
-        if allowed > 0 {
-            w.file.write_all(&buf[..allowed])?;
-        }
-        Ok(())
-    }
-
-    /// Append one record and apply the fsync policy. The payload is framed
-    /// with its length and CRC-32; rotation happens before the append once
-    /// the current segment exceeds the size threshold.
-    pub fn append(&self, payload: &[u8]) -> io::Result<()> {
-        assert!(payload.len() <= MAX_RECORD as usize, "record too large");
-        let mut buf = Vec::with_capacity(8 + payload.len());
-        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        buf.extend_from_slice(&crc32(payload).to_le_bytes());
-        buf.extend_from_slice(payload);
-
-        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        if w.seg_len >= self.segment_bytes {
-            self.sync_locked(&mut w)?;
-            w.seg_index += 1;
-            let path = segment_path(&self.dir, w.seg_index);
-            w.file = OpenOptions::new().create(true).append(true).open(path)?;
-            w.seg_len = 0;
-            self.fused_write(&mut w, SEGMENT_MAGIC)?;
-            w.seg_len += SEGMENT_MAGIC.len() as u64;
-        }
-        self.fused_write(&mut w, &buf)?;
-        w.seg_len += buf.len() as u64;
-        w.dirty = true;
-        self.appends.fetch_add(1, Ordering::Relaxed);
-        match self.policy {
-            FsyncPolicy::Always => self.sync_locked(&mut w)?,
-            FsyncPolicy::Interval(every) => {
-                if w.last_sync.elapsed() >= every {
-                    self.sync_locked(&mut w)?;
-                }
-            }
-            FsyncPolicy::Never => {}
-        }
-        Ok(())
-    }
-
-    fn sync_locked(&self, w: &mut LogWriter) -> io::Result<()> {
-        if !w.dirty {
-            return Ok(());
-        }
-        // A tripped fuse means "the process is dead": it neither writes nor
-        // reaches the disk with an fsync.
-        if !self.fuse.as_ref().is_some_and(|f| f.tripped()) {
-            w.file.sync_data()?;
-            self.fsyncs.fetch_add(1, Ordering::Relaxed);
-        }
-        w.dirty = false;
-        w.last_sync = Instant::now();
-        Ok(())
-    }
-
-    /// Flush and fsync any unsynced appends (graceful drain).
-    pub fn sync(&self) -> io::Result<()> {
-        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        self.sync_locked(&mut w)
-    }
-
-    /// Records appended by this process.
-    pub fn appends(&self) -> u64 {
-        self.appends.load(Ordering::Relaxed)
-    }
-
-    /// Fsyncs issued by this process.
-    pub fn fsyncs(&self) -> u64 {
-        self.fsyncs.load(Ordering::Relaxed)
-    }
-
-    /// Index of the segment currently being appended to.
-    pub fn segment_index(&self) -> u64 {
-        self.writer
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .seg_index
-    }
-}
+use pasm_util::{json, Json, ToJson};
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
 
 /// Durable `fingerprint → ExperimentResult` store: JSON records
 /// `{"fp":"<16 hex digits>","result":{…}}` on a [`SegmentLog`].
 ///
-/// The simulator is deterministic, so the fingerprint alone addresses a
-/// result; replay hands `(fingerprint, result)` pairs to the caller (the
-/// in-memory cache), last write wins. A CRC-intact record whose JSON fails
-/// to decode — e.g. written by a different format version — is folded into
-/// the `corrupt` counter: detected, skipped, never served.
+/// Replay hands `(fingerprint, result)` pairs to the caller (the in-memory
+/// cache), last write wins.
 pub struct ResultStore {
     log: SegmentLog,
 }
@@ -467,16 +45,13 @@ impl ResultStore {
         mut deliver: impl FnMut(u64, ExperimentResult),
     ) -> io::Result<(ResultStore, ReplayStats)> {
         let mut malformed = 0u64;
-        let (log, mut stats) = SegmentLog::open(
-            dir,
-            policy,
-            DEFAULT_SEGMENT_BYTES,
-            fuse,
-            |payload| match decode_result(payload) {
-                Some((fp, result)) => deliver(fp, result),
-                None => malformed += 1,
-            },
-        )?;
+        let (log, mut stats) =
+            SegmentLog::open(dir, policy, DEFAULT_SEGMENT_BYTES, fuse, |payload, _loc| {
+                match decode_result(payload) {
+                    Some((fp, result)) => deliver(fp, result),
+                    None => malformed += 1,
+                }
+            })?;
         stats.replayed -= malformed;
         stats.corrupt += malformed;
         Ok((ResultStore { log }, stats))
@@ -488,7 +63,7 @@ impl ResultStore {
             ("fp", Json::Str(format!("{fingerprint:016x}"))),
             ("result", result.to_json()),
         ]);
-        self.log.append(record.dump().as_bytes())
+        self.log.append(record.dump().as_bytes()).map(|_| ())
     }
 
     /// Flush and fsync pending appends (graceful drain).
@@ -516,30 +91,16 @@ fn decode_result(payload: &[u8]) -> Option<(u64, ExperimentResult)> {
     Some((fp, result))
 }
 
-/// Read every intact record payload under `dir` without opening the log for
-/// append — the inspection path tests and tools use.
-pub fn read_records(dir: &Path) -> io::Result<(Vec<Vec<u8>>, ReplayStats)> {
-    let mut stats = ReplayStats::default();
-    let mut records = Vec::new();
-    if !dir.exists() {
-        return Ok((records, stats));
-    }
-    for (_, path) in segment_files(dir)? {
-        let mut bytes = Vec::new();
-        File::open(&path)?.read_to_end(&mut bytes)?;
-        let (seg_stats, _) = replay_segment(&bytes, |p| records.push(p.to_vec()));
-        stats.absorb(seg_stats);
-    }
-    Ok((records, stats))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pasm::ExperimentKey;
+    use std::fs;
+    use std::path::PathBuf;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
-            "pasm-store-{tag}-{}-{:?}",
+            "pasm-resultstore-{tag}-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
@@ -548,222 +109,59 @@ mod tests {
         dir
     }
 
-    fn open(dir: &Path) -> (SegmentLog, Vec<Vec<u8>>, ReplayStats) {
+    fn sample_result() -> (u64, ExperimentResult) {
+        let key = ExperimentKey {
+            config: pasm_machine::MachineConfig::prototype(),
+            mode: pasm::Mode::Simd,
+            params: pasm::Params::new(8, 4),
+            seed: 7,
+            fault: Default::default(),
+            workload: pasm::MATMUL,
+        };
+        let result = pasm::run_keyed(&key).expect("tiny run succeeds");
+        (key.fingerprint(), result)
+    }
+
+    #[test]
+    fn results_replay_after_reopen() {
+        let dir = tmpdir("replay");
+        let (fp, result) = sample_result();
+        {
+            let (store, stats) =
+                ResultStore::open(&dir, FsyncPolicy::Never, None, |_, _| {}).unwrap();
+            assert_eq!(stats.replayed, 0);
+            store.append(fp, &result).unwrap();
+            store.sync().unwrap();
+        }
         let mut seen = Vec::new();
-        let (log, stats) =
-            SegmentLog::open(dir, FsyncPolicy::Never, DEFAULT_SEGMENT_BYTES, None, |p| {
-                seen.push(p.to_vec())
-            })
-            .unwrap();
-        (log, seen, stats)
-    }
-
-    #[test]
-    fn append_then_replay_round_trips_in_order() {
-        let dir = tmpdir("roundtrip");
-        {
-            let (log, seen, stats) = open(&dir);
-            assert!(seen.is_empty() && stats == ReplayStats::default());
-            for i in 0..100u32 {
-                log.append(format!("record-{i}").as_bytes()).unwrap();
-            }
-            log.sync().unwrap();
-        }
-        let (_, seen, stats) = open(&dir);
-        assert_eq!(stats.replayed, 100);
-        assert_eq!(stats.truncated + stats.corrupt, 0);
-        assert_eq!(seen.len(), 100);
-        assert_eq!(seen[7], b"record-7");
-        assert_eq!(seen[99], b"record-99");
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn segments_rotate_and_replay_spans_them() {
-        let dir = tmpdir("rotate");
-        {
-            let (log, _) = SegmentLog::open(&dir, FsyncPolicy::Never, 4096, None, |_| {}).unwrap();
-            let payload = vec![0xA5u8; 512];
-            for _ in 0..64 {
-                log.append(&payload).unwrap();
-            }
-            assert!(log.segment_index() > 1, "rotation happened");
-        }
-        let (log, seen, stats) = open(&dir);
-        assert_eq!(stats.replayed, 64);
-        assert!(stats.segments > 1);
-        assert_eq!(seen.len(), 64);
-        drop(log);
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn torn_tail_is_truncated_not_served() {
-        let dir = tmpdir("torn");
-        {
-            let (log, _, _) = open(&dir);
-            log.append(b"intact-one").unwrap();
-            log.append(b"intact-two").unwrap();
-            log.sync().unwrap();
-        }
-        // Chop bytes off the tail: mid-payload, mid-header, mid-magic.
-        let path = segment_path(&dir, 1);
-        let full = fs::read(&path).unwrap();
-        for cut in [3, 7, full.len() - 3, full.len() - 12] {
-            fs::write(&path, &full[..cut]).unwrap();
-            let (records, stats) = read_records(&dir).unwrap();
-            assert_eq!(stats.truncated, 1, "cut at {cut}");
-            assert!(
-                records
-                    .iter()
-                    .all(|r| r == b"intact-one" || r == b"intact-two"),
-                "cut at {cut} surfaced a partial record: {records:?}"
-            );
-        }
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn bit_flip_is_skipped_and_later_records_survive() {
-        let dir = tmpdir("flip");
-        {
-            let (log, _, _) = open(&dir);
-            log.append(b"first-record").unwrap();
-            log.append(b"second-record").unwrap();
-            log.append(b"third-record").unwrap();
-            log.sync().unwrap();
-        }
-        let path = segment_path(&dir, 1);
-        let mut bytes = fs::read(&path).unwrap();
-        // Flip a payload bit of the *second* record (after magic + record 1).
-        let offset = 8 + (8 + b"first-record".len()) + 8 + 3;
-        bytes[offset] ^= 0x10;
-        fs::write(&path, &bytes).unwrap();
-        let (records, stats) = read_records(&dir).unwrap();
-        assert_eq!(stats.corrupt, 1);
-        assert_eq!(stats.replayed, 2);
-        assert_eq!(
-            records,
-            vec![b"first-record".to_vec(), b"third-record".to_vec()]
-        );
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn insane_length_abandons_the_segment_but_not_later_ones() {
-        let dir = tmpdir("frame");
-        {
-            let (log, _) = SegmentLog::open(&dir, FsyncPolicy::Never, 4096, None, |_| {}).unwrap();
-            let payload = vec![1u8; 1024];
-            for _ in 0..8 {
-                log.append(&payload).unwrap(); // spans ≥ 2 segments
-            }
-        }
-        // Smash the length field of segment 1's first record.
-        let path = segment_path(&dir, 1);
-        let mut bytes = fs::read(&path).unwrap();
-        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
-        fs::write(&path, &bytes).unwrap();
-        let (records, stats) = read_records(&dir).unwrap();
-        assert!(stats.corrupt >= 1);
-        assert!(
-            !records.is_empty(),
-            "later segments replay past an unframeable one"
-        );
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn crash_fuse_models_a_torn_write_at_a_byte_offset() {
-        for budget in [0u64, 5, 13, 21, 60] {
-            let dir = tmpdir(&format!("fuse{budget}"));
-            {
-                // Budget is consumed by the fresh segment magic first (8
-                // bytes), then the records.
-                let fuse = CrashFuse::new(8 + budget);
-                let (log, _) = SegmentLog::open(
-                    &dir,
-                    FsyncPolicy::Always,
-                    DEFAULT_SEGMENT_BYTES,
-                    Some(fuse),
-                    |_| {},
-                )
-                .unwrap();
-                for i in 0..4u32 {
-                    log.append(format!("payload-{i}").as_bytes()).unwrap();
-                }
-                log.sync().unwrap();
-            }
-            let (records, stats) = read_records(&dir).unwrap();
-            let expect_complete = (budget / (8 + b"payload-0".len() as u64)) as usize;
-            assert_eq!(records.len(), expect_complete, "budget {budget}");
-            assert!(stats.corrupt == 0, "a torn write never looks corrupt");
-            fs::remove_dir_all(&dir).unwrap();
-        }
-    }
-
-    #[test]
-    fn reopening_after_a_tear_truncates_and_appends_reachably() {
-        let dir = tmpdir("reopen");
-        {
-            let (log, _, _) = open(&dir);
-            log.append(b"survivor").unwrap();
-            log.append(b"casualty").unwrap();
-            log.sync().unwrap();
-        }
-        // Tear the tail mid-record, then reopen and append more.
-        let path = segment_path(&dir, 1);
-        let bytes = fs::read(&path).unwrap();
-        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
-        {
-            let (log, seen, stats) = open(&dir);
-            assert_eq!(seen, vec![b"survivor".to_vec()]);
-            assert_eq!(stats.truncated, 1);
-            log.append(b"afterlife").unwrap();
-            log.sync().unwrap();
-        }
-        // The post-tear append replays: the tail was truncated before it.
-        let (records, stats) = read_records(&dir).unwrap();
-        assert_eq!(records, vec![b"survivor".to_vec(), b"afterlife".to_vec()]);
-        assert_eq!(stats.truncated, 0, "the tear is gone from disk");
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn fsync_policies_parse_and_label() {
-        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
-        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
-        assert_eq!(
-            FsyncPolicy::parse("interval"),
-            Some(FsyncPolicy::Interval(Duration::from_millis(100)))
-        );
-        assert_eq!(
-            FsyncPolicy::parse("interval:250"),
-            Some(FsyncPolicy::Interval(Duration::from_millis(250)))
-        );
-        assert_eq!(FsyncPolicy::parse("sometimes"), None);
-        assert_eq!(FsyncPolicy::parse("interval:x"), None);
-        for p in ["always", "never", "interval:250"] {
-            assert_eq!(FsyncPolicy::parse(p).unwrap().label(), p);
-        }
-    }
-
-    #[test]
-    fn always_policy_fsyncs_every_append() {
-        let dir = tmpdir("sync");
-        let (log, _) = SegmentLog::open(
-            &dir,
-            FsyncPolicy::Always,
-            DEFAULT_SEGMENT_BYTES,
-            None,
-            |_| {},
-        )
+        let (_, stats) = ResultStore::open(&dir, FsyncPolicy::Never, None, |f, r| {
+            seen.push((f, r));
+        })
         .unwrap();
-        log.append(b"a").unwrap();
-        log.append(b"b").unwrap();
-        assert_eq!(log.fsyncs(), 2);
-        assert_eq!(log.appends(), 2);
-        drop(log);
+        assert_eq!(stats.replayed, 1);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0, fp);
+        assert_eq!(seen[0].1.cycles, result.cycles);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn undecodable_records_count_as_corrupt() {
+        let dir = tmpdir("undecodable");
+        let (fp, result) = sample_result();
+        {
+            let (store, _) = ResultStore::open(&dir, FsyncPolicy::Never, None, |_, _| {}).unwrap();
+            store.append(fp, &result).unwrap();
+            // A CRC-intact record that is not a result record.
+            store.log.append(b"{\"not\":\"a result\"}").unwrap();
+            store.sync().unwrap();
+        }
+        let mut seen = 0;
+        let (_, stats) =
+            ResultStore::open(&dir, FsyncPolicy::Never, None, |_, _| seen += 1).unwrap();
+        assert_eq!(seen, 1);
+        assert_eq!(stats.replayed, 1);
+        assert_eq!(stats.corrupt, 1, "intact-but-foreign counts as corrupt");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

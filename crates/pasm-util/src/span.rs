@@ -3,9 +3,15 @@
 //! Programs instrument phases (clear loop, MAC loop, recirculation transfer)
 //! with begin/end markers; the simulator timestamps them in component-local
 //! cycles, and this module turns them into named [`SpanEvent`]s collected in
-//! a [`SpanLog`] that serializes to JSONL — one JSON object per line, the
-//! format documented in `docs/OBSERVABILITY.md` and consumed by external
-//! trace tooling.
+//! a [`SpanLog`] that serializes to JSONL — one JSON object per line, each
+//! stamped with [`SPAN_SCHEMA_VERSION`], the format documented in
+//! `docs/OBSERVABILITY.md` and consumed by external trace tooling.
+//!
+//! The reader ([`SpanLog::from_jsonl`]) is deliberately forgiving where the
+//! writer is strict: span files outlive processes and get concatenated,
+//! truncated, and hand-edited, so a malformed or unknown-version line is
+//! skipped and counted ([`SpanReadStats`]) instead of poisoning the whole
+//! file.
 //!
 //! ```
 //! use pasm_util::span::SpanLog;
@@ -16,9 +22,18 @@
 //! let jsonl = log.to_jsonl();
 //! assert_eq!(jsonl.lines().count(), 2);
 //! assert!(jsonl.starts_with("{\"source\":\"pe0\""));
+//! let (parsed, stats) = SpanLog::from_jsonl(&jsonl);
+//! assert_eq!(parsed.events, log.events);
+//! assert_eq!(stats.skipped, 0);
 //! ```
 
-use crate::json::Json;
+use crate::json::{self, Json};
+
+/// Version stamped onto every JSONL line the writer emits. Lines carrying a
+/// different version are skipped (and counted) by the reader; lines with no
+/// version field at all are read as version 1 — the format predating the
+/// stamp is identical.
+pub const SPAN_SCHEMA_VERSION: i64 = 1;
 
 /// One closed interval on a named component's cycle timeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,10 +64,42 @@ impl SpanEvent {
             ("cycles", Json::Int(self.cycles() as i64)),
         ])
     }
+
+    /// Parse the [`SpanEvent::to_json`] form back. `cycles` is derived, so
+    /// the reader ignores it; `source`, `name`, `start`, `end` are required.
+    pub fn from_json(v: &Json) -> Result<SpanEvent, String> {
+        let str_field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{name}` must be a string"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("`{name}` must be a non-negative integer"))
+        };
+        Ok(SpanEvent {
+            source: str_field("source")?,
+            name: str_field("name")?,
+            start: u64_field("start")?,
+            end: u64_field("end")?,
+        })
+    }
+}
+
+/// Counters from one [`SpanLog::from_jsonl`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanReadStats {
+    /// Lines parsed into events.
+    pub parsed: u64,
+    /// Lines skipped: malformed JSON, missing/invalid fields, or an unknown
+    /// `schema_version`.
+    pub skipped: u64,
 }
 
 /// An append-only collection of [`SpanEvent`]s.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SpanLog {
     /// The events, in record order.
     pub events: Vec<SpanEvent>,
@@ -84,15 +131,52 @@ impl SpanLog {
         self.events.is_empty()
     }
 
-    /// Serialize as JSONL: one compact JSON object per line, trailing newline
-    /// after every line (an empty log is the empty string).
+    /// Serialize as JSONL: one compact JSON object per line, each stamped
+    /// with [`SPAN_SCHEMA_VERSION`], trailing newline after every line (an
+    /// empty log is the empty string).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
-            out.push_str(&e.to_json().dump());
+            let Json::Obj(mut members) = e.to_json() else {
+                unreachable!("span events serialize to objects")
+            };
+            members.push(("schema_version".to_string(), Json::Int(SPAN_SCHEMA_VERSION)));
+            out.push_str(&Json::Obj(members).dump());
             out.push('\n');
         }
         out
+    }
+
+    /// Parse a JSONL span file back into a log. Malformed lines, lines with
+    /// missing or mistyped fields, and lines stamped with an unknown
+    /// `schema_version` are skipped and counted — never an error: span files
+    /// are long-lived artifacts and one bad line must not discard the rest.
+    /// Blank lines are ignored entirely (not counted as skipped).
+    pub fn from_jsonl(text: &str) -> (SpanLog, SpanReadStats) {
+        let mut log = SpanLog::new();
+        let mut stats = SpanReadStats::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed = json::parse(line).ok().and_then(|v| {
+                match v.get("schema_version") {
+                    // Unversioned lines predate the stamp: same format.
+                    None => {}
+                    Some(ver) if ver.as_i64() == Some(SPAN_SCHEMA_VERSION) => {}
+                    Some(_) => return None,
+                }
+                SpanEvent::from_json(&v).ok()
+            });
+            match parsed {
+                Some(event) => {
+                    stats.parsed += 1;
+                    log.events.push(event);
+                }
+                None => stats.skipped += 1,
+            }
+        }
+        (log, stats)
     }
 
     /// Total cycles across all events with the given phase name.
@@ -140,5 +224,83 @@ mod tests {
     #[test]
     fn empty_log_serializes_to_empty_string() {
         assert_eq!(SpanLog::new().to_jsonl(), "");
+    }
+
+    #[test]
+    fn every_line_carries_the_schema_version() {
+        let mut log = SpanLog::new();
+        log.record("pe0", "mac_loop", 0, 10);
+        log.record("mc0", "xfer", 10, 20);
+        for line in log.to_jsonl().lines() {
+            let v = json::parse(line).unwrap();
+            assert_eq!(
+                v.get("schema_version").unwrap().as_i64(),
+                Some(SPAN_SCHEMA_VERSION)
+            );
+        }
+    }
+
+    #[test]
+    fn jsonl_reader_round_trips_the_writer() {
+        let mut log = SpanLog::new();
+        log.record("pe0", "clear_loop", 0, 880);
+        log.record("pe1", "mac_loop", 880, 5000);
+        let (parsed, stats) = SpanLog::from_jsonl(&log.to_jsonl());
+        assert_eq!(parsed.events, log.events);
+        assert_eq!(
+            stats,
+            SpanReadStats {
+                parsed: 2,
+                skipped: 0
+            }
+        );
+    }
+
+    #[test]
+    fn jsonl_reader_skips_and_counts_bad_lines() {
+        let text = concat!(
+            "{\"source\":\"pe0\",\"name\":\"mac_loop\",\"start\":0,\"end\":9,\"cycles\":9,\"schema_version\":1}\n",
+            "not json at all\n",
+            "{\"source\":\"pe1\",\"name\":\"mac_loop\",\"start\":0,\"end\":7,\"cycles\":7,\"schema_version\":99}\n",
+            "{\"source\":\"pe2\",\"start\":0,\"end\":3}\n",
+            "{\"name\":\"legacy\",\"source\":\"pe3\",\"start\":1,\"end\":4}\n",
+            "\n",
+            "{\"source\":\"pe4\",\"name\":\"mac_loop\",\"start\":3,\"end\":\"x\"}\n",
+        );
+        let (log, stats) = SpanLog::from_jsonl(text);
+        // Good line, unversioned legacy line — kept; garbage, unknown
+        // version, missing field, mistyped field — skipped; blank — ignored.
+        assert_eq!(
+            stats,
+            SpanReadStats {
+                parsed: 2,
+                skipped: 4
+            }
+        );
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events[0].source, "pe0");
+        assert_eq!(log.events[1].source, "pe3");
+        assert_eq!(log.events[1].cycles(), 3);
+    }
+
+    #[test]
+    fn span_event_from_json_requires_the_interval_fields() {
+        let good = SpanEvent {
+            source: "pe0".into(),
+            name: "mac_loop".into(),
+            start: 5,
+            end: 17,
+        };
+        assert_eq!(SpanEvent::from_json(&good.to_json()).unwrap(), good);
+        for field in ["source", "name", "start", "end"] {
+            let Json::Obj(members) = good.to_json() else {
+                unreachable!()
+            };
+            let pruned: Vec<_> = members.into_iter().filter(|(k, _)| k != field).collect();
+            assert!(
+                SpanEvent::from_json(&Json::Obj(pruned)).is_err(),
+                "missing `{field}` must be rejected"
+            );
+        }
     }
 }

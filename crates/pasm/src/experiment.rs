@@ -677,6 +677,31 @@ pub fn run_keyed_with_interrupt(
     key: &ExperimentKey,
     interrupt: Option<Arc<AtomicBool>>,
 ) -> Result<ExperimentResult, RunError> {
+    run_keyed_traced(key, interrupt).map(|t| t.result)
+}
+
+/// A keyed run's summary plus the full timing payload the cross-run span
+/// store ingests: the named phase spans and the unsummed per-PE / per-MC
+/// cycle-bucket matrices of the *primary* run (the baseline run of a faulted
+/// key contributes only `baseline_cycles`, never its traces).
+#[derive(Debug, Clone)]
+pub struct ExperimentTrace {
+    pub result: ExperimentResult,
+    /// Phase spans (`pe<i>`/`mc<i>` sources; empty if accounting was off).
+    pub spans: SpanLog,
+    /// Per-PE bucket rows, `pe_buckets[pe][bucket]` per [`BUCKET_NAMES`].
+    pub pe_buckets: Vec<[u64; N_BUCKETS]>,
+    /// Per-MC bucket rows, `mc_buckets[mc][bucket]`.
+    pub mc_buckets: Vec<[u64; N_BUCKETS]>,
+}
+
+/// [`run_keyed_with_interrupt`], keeping the timing traces the summary
+/// throws away. This is the server's job runner: the result feeds the cache
+/// and the trace feeds the query tier, from one simulation.
+pub fn run_keyed_traced(
+    key: &ExperimentKey,
+    interrupt: Option<Arc<AtomicBool>>,
+) -> Result<ExperimentTrace, RunError> {
     let opts = RunOptions {
         accounting: true,
         fault: key.fault.clone(),
@@ -689,7 +714,7 @@ pub fn run_keyed_with_interrupt(
         interrupt,
         fast_path: true,
     };
-    let mut result = if key.workload == MATMUL {
+    let (mut result, run) = if key.workload == MATMUL {
         // The paper workload keeps its dedicated path (typed matrices, the
         // same code the figure generators use).
         let (a, b) = paper_workload(key.params.n, key.seed);
@@ -699,7 +724,7 @@ pub fn run_keyed_with_interrupt(
             let base = run_matmul_opts(&key.config, key.mode, key.params, &a, &b, &base_opts)?;
             result.baseline_cycles = base.cycles;
         }
-        result
+        (result, out.run)
     } else {
         let kernel = key.kernel().unwrap_or_else(|| {
             panic!(
@@ -721,7 +746,7 @@ pub fn run_keyed_with_interrupt(
             )?;
             result.baseline_cycles = base.cycles;
         }
-        result
+        (result, out.run)
     };
     if !key.fault.is_empty() {
         result.fault = key.fault.to_string();
@@ -729,7 +754,18 @@ pub fn run_keyed_with_interrupt(
             result.slowdown = result.cycles as f64 / result.baseline_cycles as f64;
         }
     }
-    Ok(result)
+    let spans = run_span_log(&run);
+    let (pe_buckets, mc_buckets) = run
+        .accounts
+        .as_ref()
+        .map(|a| (a.pe_bucket_matrix(), a.mc_bucket_matrix()))
+        .unwrap_or_default();
+    Ok(ExperimentTrace {
+        result,
+        spans,
+        pe_buckets,
+        mc_buckets,
+    })
 }
 
 /// Standard workload of the paper: identity A, uniform-random B.
@@ -842,6 +878,31 @@ mod tests {
         // The re-serialized form is byte-identical — the property the durable
         // store's "no corrupt result served" guarantee builds on.
         assert_eq!(parsed.to_json().dump(), original.to_json().dump());
+    }
+
+    #[test]
+    fn traced_run_matches_the_summary_and_carries_the_breakdowns() {
+        let key = ExperimentKey {
+            config: MachineConfig::small(),
+            mode: Mode::Simd,
+            params: Params::new(4, 4),
+            seed: 7,
+            fault: FaultPlan::default(),
+            workload: MATMUL,
+        };
+        let trace = run_keyed_traced(&key, None).unwrap();
+        assert_eq!(trace.result, run_keyed(&key).unwrap());
+        assert!(!trace.spans.is_empty(), "accounting is on by default");
+        assert!(!trace.mc_buckets.is_empty());
+        // Summing the per-PE rows reproduces the summary's bucket totals —
+        // the invariant that makes the stored matrices trustworthy.
+        let mut summed = [0u64; N_BUCKETS];
+        for row in &trace.pe_buckets {
+            for (o, v) in summed.iter_mut().zip(row.iter()) {
+                *o += v;
+            }
+        }
+        assert_eq!(summed, trace.result.pe_buckets);
     }
 
     #[test]

@@ -31,10 +31,11 @@ pub mod report;
 pub mod sweep;
 
 pub use experiment::{
-    paper_workload, run_concurrent, run_kernel, run_kernel_opts, run_keyed,
+    paper_workload, run_concurrent, run_kernel, run_kernel_opts, run_keyed, run_keyed_traced,
     run_keyed_with_interrupt, run_matmul, run_matmul_opts, run_matmul_verified,
-    run_matmul_with_accounting, run_reduction, run_span_log, ExperimentKey, ExperimentResult, Job,
-    JobOutcome, KernelOutcome, MatmulOutcome, Mode, Params, ReduceOutcome, RunOptions, MATMUL,
+    run_matmul_with_accounting, run_reduction, run_span_log, ExperimentKey, ExperimentResult,
+    ExperimentTrace, Job, JobOutcome, KernelOutcome, MatmulOutcome, Mode, Params, ReduceOutcome,
+    RunOptions, MATMUL,
 };
 pub use metrics::{efficiency, speedup, Breakdown};
 pub use pasm_kernels::{self as kernels, Kernel};
